@@ -1,0 +1,167 @@
+// Package appfit is selective task replication for task-parallel dataflow
+// programs with application-specific reliability targets — a Go
+// implementation of Subasi et al., "A Runtime Heuristic to Selectively
+// Replicate Tasks for Application-Specific Reliability Targets" (IEEE
+// CLUSTER 2016).
+//
+// Programs submit tasks that declare in/out/inout accesses on named data
+// regions; the runtime infers dependencies and executes ready tasks on a
+// worker pool. A Selector decides, per task, whether to replicate it: the
+// App_FIT heuristic keeps the application's unprotected failure rate (in
+// FIT, failures per 10⁹ hours) under a user-supplied threshold by
+// replicating exactly the tasks whose estimated failure contribution would
+// otherwise exceed the prorated budget. Replicated tasks are checkpointed,
+// executed twice, compared bitwise, and recovered by re-execution and
+// majority vote when a silent data corruption or crash is detected.
+//
+// Quick start:
+//
+//	sel := appfit.NewAppFIT(thresholdFIT, totalTasks)
+//	r := appfit.New(appfit.Config{Workers: 8, Selector: sel})
+//	a := appfit.NewF64(1 << 20)
+//	r.Submit("scale", func(ctx *appfit.Ctx) {
+//		x := ctx.F64(0)
+//		for i := range x {
+//			x[i] *= 2
+//		}
+//	}, appfit.Inout("A", a))
+//	err := r.Shutdown()
+//
+// The package is a facade over the implementation packages; see DESIGN.md
+// for the full architecture and EXPERIMENTS.md for the reproduction of the
+// paper's evaluation.
+package appfit
+
+import (
+	"appfit/internal/buffer"
+	"appfit/internal/core"
+	"appfit/internal/dist"
+	"appfit/internal/fault"
+	"appfit/internal/fit"
+	"appfit/internal/rt"
+	"appfit/internal/trace"
+	"appfit/internal/vote"
+)
+
+// Runtime is the task-parallel dataflow runtime with the replication engine
+// (the Nanos equivalent of the paper's §III design).
+type Runtime = rt.Runtime
+
+// Config configures a Runtime.
+type Config = rt.Config
+
+// Ctx gives a task body access to its argument buffers for the current
+// execution attempt.
+type Ctx = rt.Ctx
+
+// Arg declares one task argument; TaskFunc is a task body. Bodies must be
+// deterministic in their declared arguments: outputs are compared bitwise.
+type (
+	Arg      = rt.Arg
+	TaskFunc = rt.TaskFunc
+)
+
+// Stats are the runtime's cumulative counters.
+type Stats = rt.Stats
+
+// New starts a runtime with cfg's worker pool running.
+func New(cfg Config) *Runtime { return rt.New(cfg) }
+
+// In declares a read-only argument on a named region.
+func In(key string, b Buffer) Arg { return rt.In(key, b) }
+
+// Out declares a write-only argument on a named region.
+func Out(key string, b Buffer) Arg { return rt.Out(key, b) }
+
+// Inout declares a read-modify-write argument on a named region.
+func Inout(key string, b Buffer) Arg { return rt.Inout(key, b) }
+
+// Buffer is a checkpointable, comparable, corruptible task argument.
+// Concrete types: F64, C128, I64, U8.
+type Buffer = buffer.Buffer
+
+// F64, C128, I64 and U8 are the typed argument buffers.
+type (
+	F64  = buffer.F64
+	C128 = buffer.C128
+	I64  = buffer.I64
+	U8   = buffer.U8
+)
+
+// NewF64 allocates a zeroed float64 buffer of n elements.
+func NewF64(n int) F64 { return buffer.NewF64(n) }
+
+// NewC128 allocates a zeroed complex128 buffer of n elements.
+func NewC128(n int) C128 { return buffer.NewC128(n) }
+
+// NewI64 allocates a zeroed int64 buffer of n elements.
+func NewI64(n int) I64 { return buffer.NewI64(n) }
+
+// NewU8 allocates a zeroed byte buffer of n elements.
+func NewU8(n int) U8 { return buffer.NewU8(n) }
+
+// Selector decides, per task, whether to replicate it.
+type Selector = core.Selector
+
+// AppFIT is the paper's heuristic (Equation 1).
+type AppFIT = core.AppFIT
+
+// NewAppFIT returns an App_FIT selector for an application of totalTasks
+// tasks and the given FIT threshold.
+func NewAppFIT(threshold float64, totalTasks int) *AppFIT {
+	return core.NewAppFIT(threshold, totalTasks)
+}
+
+// ReplicateAll and ReplicateNone are the complete-replication and
+// unprotected baselines.
+type (
+	ReplicateAll  = core.ReplicateAll
+	ReplicateNone = core.ReplicateNone
+)
+
+// Rates are node-level failure rates in FIT; Task is a per-task estimate.
+type (
+	Rates   = fit.Rates
+	FITTask = fit.Task
+)
+
+// Roadrunner returns the neutron-beam-derived rates the paper anchors to
+// (Michalak et al.: crash 2.22×10³ FIT per 32 GB).
+func Roadrunner() Rates { return fit.Roadrunner() }
+
+// Injector supplies fault outcomes for execution attempts. NewSeededInjector
+// injects at the estimated per-task rates (deterministically from a seed);
+// NewFixedRateInjector uses constant per-execution probabilities.
+type Injector = fault.Injector
+
+// NewSeededInjector returns a deterministic FIT-driven injector.
+func NewSeededInjector(seed uint64) *fault.Seeded { return fault.NewSeeded(seed) }
+
+// NewFixedRateInjector returns an injector with constant probabilities.
+func NewFixedRateInjector(seed uint64, pDUE, pSDC float64) *fault.FixedRate {
+	return fault.NewFixedRate(seed, pDUE, pSDC)
+}
+
+// Comparator checks replica agreement; Bitwise is the paper's default.
+type (
+	Comparator = vote.Comparator
+	Bitwise    = vote.Bitwise
+	Checksum   = vote.Checksum
+)
+
+// Tracer records per-task events; attach via Config.Tracer.
+type Tracer = trace.Tracer
+
+// NewTracer returns an empty Tracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// World is the distributed substrate (the OmpSs+MPI hybrid model, §III):
+// in-process ranks, each with its own Runtime, exchanging messages through
+// dependency-gated send/receive tasks.
+type World = dist.World
+
+// WorldConfig configures a World.
+type WorldConfig = dist.Config
+
+// NewWorld starts a distributed world of communicating ranks.
+func NewWorld(cfg WorldConfig) *World { return dist.NewWorld(cfg) }

@@ -1,0 +1,262 @@
+// Package appfit's root benchmarks regenerate the paper's evaluation: one
+// testing.B target per table and figure (DESIGN.md §4 maps them), plus
+// ablation benches for the design choices the paper calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics carry the experiment's headline quantity (e.g.
+// pct_tasks_replicated for Figure 3, overhead_pct for Figure 4) so the
+// bench output doubles as the experiment record.
+package appfit_test
+
+import (
+	"testing"
+
+	"appfit/internal/bench"
+	"appfit/internal/bench/workload"
+	"appfit/internal/buffer"
+	"appfit/internal/cluster"
+	"appfit/internal/core"
+	"appfit/internal/experiments"
+	"appfit/internal/fault"
+	"appfit/internal/fit"
+	"appfit/internal/rt"
+	"appfit/internal/stats"
+	"appfit/internal/vote"
+)
+
+// BenchmarkTable1Registry measures building every Table-I job DAG.
+func BenchmarkTable1Registry(b *testing.B) {
+	cm := workload.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		for _, w := range bench.All() {
+			nodes := 1
+			if w.Distributed() {
+				nodes = 4
+			}
+			job := w.BuildJob(workload.Tiny, nodes, cm)
+			if len(job.Tasks) == 0 {
+				b.Fatal("empty job")
+			}
+		}
+	}
+}
+
+// BenchmarkFig1DataflowVsForkJoin measures the Figure 1 comparison.
+func BenchmarkFig1DataflowVsForkJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig1() == "" {
+			b.Fatal("empty fig1")
+		}
+	}
+}
+
+// BenchmarkFig2RecoveryPath measures one full SDC detect-restore-vote cycle
+// (the Figure 2 sequence) end to end on the real runtime.
+func BenchmarkFig2RecoveryPath(b *testing.B) {
+	data := buffer.NewF64(1024)
+	for i := 0; i < b.N; i++ {
+		inj := fault.NewScript().Set(1, 0, fault.SDC).SetBit(1, 0, 9)
+		r := rt.New(rt.Config{Workers: 2, Selector: core.ReplicateAll{}, Injector: inj})
+		r.Submit("k", func(ctx *rt.Ctx) {
+			x := ctx.F64(0)
+			for j := range x {
+				x[j]++
+			}
+		}, rt.Inout("A", data))
+		if err := r.Shutdown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3AppFIT regenerates Figure 3 (one repeat per iteration) and
+// reports the average replication fractions.
+func BenchmarkFig3AppFIT(b *testing.B) {
+	var lastTasks, lastTime float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig3(experiments.Fig3Config{
+			Scale: workload.Tiny, Workers: 2, Repeats: 1,
+		})
+		var ts, tm []float64
+		for _, r := range rows {
+			ts = append(ts, r.PctTasks10)
+			tm = append(tm, r.PctTime10)
+		}
+		lastTasks, lastTime = stats.Mean(ts), stats.Mean(tm)
+	}
+	b.ReportMetric(lastTasks, "pct_tasks_replicated_10x")
+	b.ReportMetric(lastTime, "pct_time_replicated_10x")
+}
+
+// BenchmarkFig4Overhead regenerates Figure 4 and reports the average
+// fault-free complete-replication overhead.
+func BenchmarkFig4Overhead(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig4(workload.Tiny)
+		var ovs []float64
+		for _, r := range rows {
+			ovs = append(ovs, r.OverheadPct)
+		}
+		avg = stats.Mean(ovs)
+	}
+	b.ReportMetric(avg, "overhead_pct")
+}
+
+// BenchmarkFig5SharedScaling regenerates Figure 5 and reports the mean
+// 16-core fault-free speedup across the shared-memory benchmarks.
+func BenchmarkFig5SharedScaling(b *testing.B) {
+	var mean16 float64
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig5(workload.Tiny)
+		var sp []float64
+		for _, p := range pts {
+			if p.Cores == 16 && p.Rate == 0 {
+				sp = append(sp, p.Speedup)
+			}
+		}
+		mean16 = stats.Mean(sp)
+	}
+	b.ReportMetric(mean16, "speedup_16_cores")
+}
+
+// BenchmarkFig6DistScaling regenerates Figure 6 and reports the mean
+// 1024-core fault-free speedup over 64 cores.
+func BenchmarkFig6DistScaling(b *testing.B) {
+	var mean1024 float64
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig6(workload.Tiny)
+		var sp []float64
+		for _, p := range pts {
+			if p.Cores == 1024 && p.Rate == 0 {
+				sp = append(sp, p.Speedup)
+			}
+		}
+		mean1024 = stats.Mean(sp)
+	}
+	b.ReportMetric(mean1024, "speedup_1024_over_64")
+}
+
+// BenchmarkAblationSelectors regenerates the selection-policy ablation.
+func BenchmarkAblationSelectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Ablation("cholesky", workload.Tiny); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationComparators measures the paper's comparator trade-off
+// (bitwise vs checksum, §III) on a full replicated run.
+func BenchmarkAblationComparators(b *testing.B) {
+	for _, cmp := range []vote.Comparator{vote.Bitwise{}, vote.Checksum{}} {
+		b.Run(cmp.Name(), func(b *testing.B) {
+			w, _ := bench.ByName("stream")
+			for i := 0; i < b.N; i++ {
+				r := rt.New(rt.Config{
+					Workers: 2, Selector: core.ReplicateAll{}, Comparator: cmp,
+				})
+				_ = w.BuildRT(r, workload.Tiny)
+				if err := r.Shutdown(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVoters measures the paper's multiple-voters hardening
+// (§IV-A) cost.
+func BenchmarkAblationVoters(b *testing.B) {
+	for _, voters := range []int{1, 3} {
+		b.Run(map[int]string{1: "single", 3: "triple"}[voters], func(b *testing.B) {
+			w, _ := bench.ByName("cholesky")
+			for i := 0; i < b.N; i++ {
+				r := rt.New(rt.Config{
+					Workers: 2, Selector: core.ReplicateAll{},
+					Voters: voters, CheckpointCopies: voters,
+				})
+				_ = w.BuildRT(r, workload.Tiny)
+				if err := r.Shutdown(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStaleness compares App_FIT's completion-time FIT
+// accounting against the strict decision-time variant (§IV-B design choice).
+func BenchmarkAblationStaleness(b *testing.B) {
+	tasks := make([]fit.Task, 5000)
+	total := 0.0
+	for i := range tasks {
+		tasks[i] = fit.Task{ID: uint64(i + 1), DUE: 1}
+		total += 1
+	}
+	b.Run("app_fit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := core.NewAppFIT(total/10, len(tasks))
+			for _, t := range tasks {
+				s.Observe(t, s.Decide(t))
+			}
+		}
+	})
+	b.Run("strict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := core.NewAppFITStrict(total/10, len(tasks))
+			for _, t := range tasks {
+				s.Observe(t, s.Decide(t))
+			}
+		}
+	})
+}
+
+// BenchmarkClusterSimThroughput measures the virtual-time engine itself:
+// simulated tasks per second on a replicated 16-node run.
+func BenchmarkClusterSimThroughput(b *testing.B) {
+	w, _ := bench.ByName("linpack")
+	job := w.BuildJob(workload.Small, 16, workload.DefaultCostModel())
+	cfg := cluster.Config{
+		Nodes: 16, CoresPerNode: 16, ReplicaCores: 16,
+		Replicated: cluster.All(len(job.Tasks)),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(job, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(job.Tasks)), "tasks/run")
+}
+
+// BenchmarkRuntimeTaskThroughput measures the real runtime's end-to-end
+// submit+execute rate without and with full replication (the paper's
+// "fault-tolerance based on task-parallel dataflow is efficient" claim).
+func BenchmarkRuntimeTaskThroughput(b *testing.B) {
+	for _, repl := range []bool{false, true} {
+		name := "unreplicated"
+		var sel core.Selector = core.ReplicateNone{}
+		if repl {
+			name = "replicated"
+			sel = core.ReplicateAll{}
+		}
+		b.Run(name, func(b *testing.B) {
+			r := rt.New(rt.Config{Workers: 4, Selector: sel})
+			buf := buffer.NewF64(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Submit("w", func(ctx *rt.Ctx) {
+					x := ctx.F64(0)
+					for j := range x {
+						x[j]++
+					}
+				}, rt.Inout("A", buf))
+			}
+			if err := r.Shutdown(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments table1              Table I benchmark inventory
+//	experiments fig1                dataflow vs fork-join (Figure 1)
+//	experiments fig2                replication walk-through (Figure 2)
+//	experiments fig3                App_FIT selective replication (Figure 3)
+//	experiments fig4                complete-replication overheads (Figure 4)
+//	experiments fig5                shared-memory scalability (Figure 5)
+//	experiments fig6                distributed scalability (Figure 6)
+//	experiments ablation [bench]    selection-policy ablation
+//	experiments sweep [bench]       threshold-sensitivity sweep
+//	experiments sparecores [bench]  overhead vs spare capacity
+//	experiments reliability [bench] corrupted-result counts per policy
+//	experiments all                 everything above
+//
+// Flags: -scale tiny|small|medium, -workers N, -repeats N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"appfit/internal/bench/workload"
+	"appfit/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "problem scale: tiny, small or medium")
+	workers := flag.Int("workers", 4, "worker threads for real-runtime experiments")
+	repeats := flag.Int("repeats", 3, "repetitions for averaged experiments (paper uses 10)")
+	benchName := flag.String("bench", "cholesky", "benchmark for ablation/sweep/sparecores")
+	flag.Parse()
+
+	var scale workload.Scale
+	switch *scaleFlag {
+	case "tiny":
+		scale = workload.Tiny
+	case "small":
+		scale = workload.Small
+	case "medium":
+		scale = workload.Medium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "all"
+	}
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println("=== Table I ===")
+			fmt.Println(experiments.Table1(scale))
+		case "fig1":
+			fmt.Println("=== Figure 1: dataflow vs fork-join ===")
+			fmt.Println(experiments.Fig1())
+		case "fig2":
+			fmt.Println("=== Figure 2: replication design walk-through ===")
+			fmt.Println(experiments.Fig2())
+		case "fig3":
+			fmt.Println("=== Figure 3: App_FIT selective replication ===")
+			_, s := experiments.Fig3(experiments.Fig3Config{
+				Scale: scale, Workers: *workers, Repeats: *repeats,
+			})
+			fmt.Println(s)
+		case "fig4":
+			fmt.Println("=== Figure 4: complete replication overheads ===")
+			_, s := experiments.Fig4(scale)
+			fmt.Println(s)
+		case "fig5":
+			fmt.Println("=== Figure 5: shared-memory scalability ===")
+			_, s := experiments.Fig5(scale)
+			fmt.Println(s)
+		case "fig6":
+			fmt.Println("=== Figure 6: distributed scalability ===")
+			_, s := experiments.Fig6(scale)
+			fmt.Println(s)
+		case "ablation":
+			fmt.Println("=== Ablation: selection policies ===")
+			_, s, err := experiments.Ablation(*benchName, scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(s)
+		case "sweep":
+			fmt.Println("=== Threshold sensitivity sweep ===")
+			s, err := experiments.ThresholdSweep(*benchName, scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(s)
+		case "reliability":
+			fmt.Println("=== Reliability under accelerated fault injection ===")
+			_, s, err := experiments.Reliability(*benchName, scale, *repeats*5, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(s)
+		case "sparecores":
+			fmt.Println("=== Overhead vs spare capacity ===")
+			s, err := experiments.SpareCoreSweep(*benchName, scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(s)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if cmd == "all" {
+		for _, n := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation", "sweep", "sparecores", "reliability"} {
+			run(n)
+		}
+		return
+	}
+	run(cmd)
+}

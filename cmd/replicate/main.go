@@ -1,0 +1,98 @@
+// Command replicate runs the task-replication overhead and scalability
+// experiments for a single benchmark on the virtual cluster (the per-
+// benchmark view of Figures 4-6):
+//
+//	replicate -bench nbody -scale small -nodes 4,8,16,32,64 -cores 16 -rate 1e-3
+//
+// It prints, for each machine size: fault-free and replicated makespans,
+// overhead, speedup and recovery activity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"appfit/internal/bench"
+	"appfit/internal/bench/workload"
+	"appfit/internal/cluster"
+	"appfit/internal/fault"
+	"appfit/internal/stats"
+)
+
+func main() {
+	benchName := flag.String("bench", "stream", "benchmark name")
+	scaleFlag := flag.String("scale", "small", "tiny, small or medium")
+	nodesFlag := flag.String("nodes", "1", "comma-separated node counts")
+	cores := flag.Int("cores", 16, "cores per node")
+	rate := flag.Float64("rate", 0, "per-execution fault probability (split evenly DUE/SDC)")
+	seed := flag.Uint64("seed", 42, "fault injection seed")
+	flag.Parse()
+
+	var scale workload.Scale
+	switch *scaleFlag {
+	case "tiny":
+		scale = workload.Tiny
+	case "small":
+		scale = workload.Small
+	case "medium":
+		scale = workload.Medium
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+	w, err := bench.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	var nodeCounts []int
+	for _, s := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad node count %q", s))
+		}
+		nodeCounts = append(nodeCounts, n)
+	}
+
+	cm := workload.DefaultCostModel()
+	t := stats.NewTable("nodes", "cores", "base ms", "repl ms", "overhead %",
+		"speedup", "reexecs", "sdc", "due")
+	var base0 cluster.Result
+	for i, nodes := range nodeCounts {
+		job := w.BuildJob(scale, nodes, cm)
+		cfg := cluster.Config{Nodes: nodes, CoresPerNode: *cores}
+		if *rate > 0 {
+			cfg.Injector = fault.NewFixedRate(*seed, *rate/2, *rate/2)
+		}
+		baseRes, err := cluster.Run(job, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		cfgR := cfg
+		cfgR.Replicated = cluster.All(len(job.Tasks))
+		if *rate > 0 {
+			cfgR.Injector = fault.NewFixedRate(*seed, *rate/2, *rate/2)
+		}
+		replRes, err := cluster.Run(job, cfgR)
+		if err != nil {
+			fatal(err)
+		}
+		if i == 0 {
+			base0 = replRes
+		}
+		t.AddRow(nodes, nodes**cores,
+			baseRes.Makespan.Seconds()*1e3,
+			replRes.Makespan.Seconds()*1e3,
+			replRes.OverheadPct(baseRes),
+			replRes.Speedup(base0),
+			replRes.Reexecutions, replRes.SDCDetected, replRes.DUERecovered)
+	}
+	fmt.Printf("%s at %s scale, complete replication, fault rate %g\n", w.Name(), scale, *rate)
+	fmt.Println(t.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package appfit_test
+
+import (
+	"fmt"
+
+	"appfit"
+)
+
+// Example shows the basic dataflow submission pattern: two tasks chained by
+// an inout dependency on region "A" and an independent task on "B".
+func Example() {
+	r := appfit.New(appfit.Config{Workers: 2})
+	a := appfit.F64{1}
+	b := appfit.F64{10}
+	incr := func(ctx *appfit.Ctx) { ctx.F64(0)[0]++ }
+	r.Submit("A1", incr, appfit.Inout("A", a))
+	r.Submit("A2", incr, appfit.Inout("A", a))
+	r.Submit("B", incr, appfit.Inout("B", b))
+	if err := r.Shutdown(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(a[0], b[0])
+	// Output: 3 11
+}
+
+// ExampleNewAppFIT shows the paper's usage scenario: a FIT threshold that
+// keeps today's reliability while error rates are 10× higher, with the
+// heuristic choosing which tasks to replicate.
+func ExampleNewAppFIT() {
+	const tasks = 100
+	const bytesPerTask = 1 << 20
+	rates := appfit.Roadrunner()
+	threshold := rates.TotalFIT(bytesPerTask * tasks) // app FIT at 1× rates
+	sel := appfit.NewAppFIT(threshold, tasks)
+
+	r := appfit.New(appfit.Config{
+		Workers:  2,
+		Selector: sel,
+		Rates:    rates.Scale(10), RatesSet: true,
+	})
+	for i := 0; i < tasks; i++ {
+		buf := appfit.NewF64(bytesPerTask / 8)
+		r.Submit("work", func(ctx *appfit.Ctx) {
+			x := ctx.F64(0)
+			x[0]++
+		}, appfit.Inout(fmt.Sprintf("T%d", i), buf))
+	}
+	if err := r.Shutdown(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st := r.Stats()
+	fmt.Printf("replicated %d of %d tasks, unprotected FIT within threshold: %v\n",
+		st.Replicated, tasks, sel.CurrentFIT() <= threshold)
+	// Output: replicated 90 of 100 tasks, unprotected FIT within threshold: true
+}
+
+// ExampleNewWorld shows the distributed (OmpSs+MPI style) substrate: two
+// ranks exchanging a block through dependency-gated send/receive tasks.
+func ExampleNewWorld() {
+	w := appfit.NewWorld(appfit.WorldConfig{Ranks: 2})
+	src := appfit.F64{42}
+	dst := appfit.NewF64(1)
+	w.Rank(0).Send(1, 0, "s", src)
+	w.Rank(1).Recv(0, 0, "d", dst)
+	if err := w.Shutdown(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(dst[0])
+	// Output: 42
+}

@@ -1,0 +1,72 @@
+// Package bench is the Table-I benchmark registry: the five shared-memory
+// and four distributed task-parallel workloads the paper evaluates, behind
+// the common workload.Workload interface. Experiments iterate over All() or
+// the SharedMemory()/DistributedSet() subsets.
+package bench
+
+import (
+	"fmt"
+
+	"appfit/internal/bench/cholesky"
+	"appfit/internal/bench/fft"
+	"appfit/internal/bench/linpack"
+	"appfit/internal/bench/matmul"
+	"appfit/internal/bench/nbody"
+	"appfit/internal/bench/perlin"
+	"appfit/internal/bench/pingpong"
+	"appfit/internal/bench/sparselu"
+	"appfit/internal/bench/stream"
+	"appfit/internal/bench/workload"
+)
+
+// All returns every benchmark in Table I order: shared-memory first, then
+// distributed.
+func All() []workload.Workload {
+	return []workload.Workload{
+		sparselu.New(),
+		cholesky.New(),
+		fft.New(),
+		perlin.New(),
+		stream.New(),
+		nbody.New(),
+		matmul.New(),
+		pingpong.New(),
+		linpack.New(),
+	}
+}
+
+// SharedMemory returns the five shared-memory benchmarks.
+func SharedMemory() []workload.Workload {
+	var out []workload.Workload
+	for _, w := range All() {
+		if !w.Distributed() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// DistributedSet returns the four distributed benchmarks.
+func DistributedSet() []workload.Workload {
+	var out []workload.Workload
+	for _, w := range All() {
+		if w.Distributed() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName returns the named benchmark or an error listing valid names.
+func ByName(name string) (workload.Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	names := make([]string, 0, 9)
+	for _, w := range All() {
+		names = append(names, w.Name())
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, names)
+}

@@ -1,0 +1,98 @@
+package fft
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"appfit/internal/bench/kern"
+	"appfit/internal/bench/workload"
+	"appfit/internal/xrand"
+)
+
+func TestParamsPowersOfTwo(t *testing.T) {
+	for _, s := range []workload.Scale{workload.Tiny, workload.Small, workload.Medium} {
+		p := ParamsFor(s)
+		if p.N&(p.N-1) != 0 {
+			t.Fatalf("%v: N=%d not a power of two", s, p.N)
+		}
+		if p.N%p.R != 0 {
+			t.Fatalf("%v: N %% R != 0", s)
+		}
+		if p.Nb() != p.N/p.R {
+			t.Fatal("Nb wrong")
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	p := Params{N: 32, R: 8}
+	n, rows, nb := p.N, p.R, p.Nb()
+	rng := xrand.New(4)
+	panels := make([][]complex128, nb)
+	orig := make([][]complex128, nb)
+	for i := range panels {
+		panels[i] = make([]complex128, rows*n)
+		for k := range panels[i] {
+			panels[i][k] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig[i] = append([]complex128(nil), panels[i]...)
+	}
+	tp := make([][]complex128, nb)
+	for j := range tp {
+		tp[j] = make([]complex128, rows*n)
+		transposeInto(tp[j], panels, j, rows, n)
+	}
+	back := make([][]complex128, nb)
+	for i := range back {
+		back[i] = make([]complex128, rows*n)
+		transposeInto(back[i], tp, i, rows, n)
+	}
+	for i := range back {
+		for k := range back[i] {
+			if back[i][k] != orig[i][k] {
+				t.Fatalf("transpose^2 != identity at panel %d elem %d", i, k)
+			}
+		}
+	}
+}
+
+func TestReferenceMatchesDirect2D(t *testing.T) {
+	// The panel algorithm must agree with a direct row-then-column 2-D
+	// DFT on the full matrix.
+	p := Params{N: 16, R: 4}
+	n := p.N
+	rng := xrand.New(9)
+	data := make([]complex128, n*n)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	got := Reference(data, p)
+
+	// Direct: FFT rows, then FFT columns in place.
+	direct := append([]complex128(nil), data...)
+	for r := 0; r < n; r++ {
+		kern.FFTRadix2(direct[r*n:(r+1)*n], false)
+	}
+	col := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = direct[r*n+c]
+		}
+		kern.FFTRadix2(col, false)
+		for r := 0; r < n; r++ {
+			direct[r*n+c] = col[r]
+		}
+	}
+	for i := range got {
+		if cmplx.Abs(got[i]-direct[i]) > 1e-9 {
+			t.Fatalf("panel 2D FFT disagrees with direct at %d: %v vs %v", i, got[i], direct[i])
+		}
+	}
+}
+
+func TestInputBytes(t *testing.T) {
+	p := ParamsFor(workload.Tiny)
+	if got := (W{}).InputBytes(workload.Tiny); got != int64(p.N)*int64(p.N)*16 {
+		t.Fatalf("input bytes %d", got)
+	}
+}

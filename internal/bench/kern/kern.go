@@ -1,0 +1,244 @@
+// Package kern provides the dense numeric kernels the Table-I benchmarks are
+// built from: block LU and Cholesky factors, triangular solves, matrix
+// multiply, and a radix-2 FFT. All matrix kernels operate on row-major n×n
+// blocks stored in flat []float64 slices, the layout the workloads keep
+// their tiles in. The paper's benchmarks call BLAS/CBLAS for these; pure-Go
+// implementations preserve the task graphs and argument sizes, which is what
+// the replication experiments depend on (DESIGN.md §2).
+package kern
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// GemmSub computes C -= A·B for n×n row-major blocks.
+func GemmSub(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		ci := c[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			bk := b[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] -= aik * bk[j]
+			}
+		}
+	}
+}
+
+// GemmAdd computes C += A·B for n×n row-major blocks.
+func GemmAdd(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		ci := c[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			bk := b[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}
+
+// GemmSubTransB computes C -= A·Bᵀ for n×n row-major blocks.
+func GemmSubTransB(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*n : (j+1)*n]
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += ai[k] * bj[k]
+			}
+			ci[j] -= s
+		}
+	}
+}
+
+// Potrf factors the n×n symmetric positive-definite block A in place into
+// its lower Cholesky factor L (upper triangle zeroed). It returns an error
+// if A is not positive definite.
+func Potrf(a []float64, n int) error {
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*n+k] * a[j*n+k]
+		}
+		if d <= 0 {
+			return errors.New("kern: matrix not positive definite")
+		}
+		d = math.Sqrt(d)
+		a[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*n+k] * a[j*n+k]
+			}
+			a[i*n+j] = s / d
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a[i*n+j] = 0
+		}
+	}
+	return nil
+}
+
+// TrsmRightLowerTrans solves X·Lᵀ = B in place (X overwrites B), with L the
+// lower-triangular factor of a diagonal block: the Cholesky "trsm" kernel.
+func TrsmRightLowerTrans(l, x []float64, n int) {
+	for i := 0; i < n; i++ {
+		xi := x[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			s := xi[j]
+			for k := 0; k < j; k++ {
+				s -= xi[k] * l[j*n+k]
+			}
+			xi[j] = s / l[j*n+j]
+		}
+	}
+}
+
+// SyrkSub computes C -= A·Aᵀ (full block update) for n×n blocks: the
+// Cholesky "syrk" kernel applied to diagonal tiles.
+func SyrkSub(c, a []float64, n int) {
+	GemmSubTransB(c, a, a, n)
+}
+
+// Lu0 factors the n×n block A in place into L (unit lower) and U (upper)
+// without pivoting: the SparseLU/Linpack diagonal kernel. It returns an
+// error on a zero pivot.
+func Lu0(a []float64, n int) error {
+	for k := 0; k < n; k++ {
+		p := a[k*n+k]
+		if p == 0 {
+			return errors.New("kern: zero pivot in LU")
+		}
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= p
+			lik := a[i*n+k]
+			if lik == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= lik * a[k*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// Fwd solves L·X = B in place (X overwrites B) with L the unit-lower factor
+// of an Lu0'd diagonal block: the SparseLU "fwd" kernel.
+func Fwd(diag, x []float64, n int) {
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			s := x[i*n+j]
+			for k := 0; k < i; k++ {
+				s -= diag[i*n+k] * x[k*n+j]
+			}
+			x[i*n+j] = s // unit diagonal
+		}
+	}
+}
+
+// Bdiv solves X·U = B in place (X overwrites B) with U the upper factor of
+// an Lu0'd diagonal block: the SparseLU "bdiv" kernel.
+func Bdiv(diag, x []float64, n int) {
+	for i := 0; i < n; i++ {
+		xi := x[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			s := xi[j]
+			for k := 0; k < j; k++ {
+				s -= xi[k] * diag[k*n+j]
+			}
+			xi[j] = s / diag[j*n+j]
+		}
+	}
+}
+
+// SplitLU extracts the unit-lower L and upper U factors from an Lu0'd block.
+func SplitLU(a []float64, n int) (l, u []float64) {
+	l = make([]float64, n*n)
+	u = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				l[i*n+j] = 1
+				u[i*n+j] = a[i*n+j]
+			case i > j:
+				l[i*n+j] = a[i*n+j]
+			default:
+				u[i*n+j] = a[i*n+j]
+			}
+		}
+	}
+	return l, u
+}
+
+// FFTRadix2 computes the in-place forward DFT of x (length a power of two)
+// using the iterative Cooley-Tukey radix-2 algorithm. inverse=true computes
+// the unscaled inverse transform (caller divides by len(x)).
+func FFTRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic("kern: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -2.0
+	if inverse {
+		sign = 2.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * math.Pi / float64(size)
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wstep
+			}
+		}
+	}
+}
+
+// MaxAbsDiff returns max |a[i]-b[i]|.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// FrobNorm returns the Frobenius norm of a.
+func FrobNorm(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,330 @@
+package kern
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"appfit/internal/xrand"
+)
+
+func randBlock(seed uint64, n int) []float64 {
+	r := xrand.New(seed)
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = r.NormFloat64()
+	}
+	return a
+}
+
+// spdBlock returns a symmetric positive-definite block M·Mᵀ + n·I.
+func spdBlock(seed uint64, n int) []float64 {
+	m := randBlock(seed, n)
+	a := make([]float64, n*n)
+	GemmSubTransB(a, m, m, n) // a = -M·Mᵀ
+	for i := range a {
+		a[i] = -a[i]
+	}
+	for i := 0; i < n; i++ {
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+// dominantBlock returns a diagonally dominant block (safe for pivot-free LU).
+func dominantBlock(seed uint64, n int) []float64 {
+	a := randBlock(seed, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += math.Abs(a[i*n+j])
+		}
+		a[i*n+i] = s + 1
+	}
+	return a
+}
+
+func TestGemmAddSubInverse(t *testing.T) {
+	const n = 8
+	a, b := randBlock(1, n), randBlock(2, n)
+	c := randBlock(3, n)
+	orig := append([]float64(nil), c...)
+	GemmAdd(c, a, b, n)
+	GemmSub(c, a, b, n)
+	if MaxAbsDiff(c, orig) > 1e-12 {
+		t.Fatal("GemmAdd then GemmSub is not identity")
+	}
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	const n = 6
+	a, b := randBlock(4, n), randBlock(5, n)
+	c := make([]float64, n*n)
+	GemmAdd(c, a, b, n)
+	want := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			want[i*n+j] = s
+		}
+	}
+	if MaxAbsDiff(c, want) > 1e-12 {
+		t.Fatal("GemmAdd disagrees with naive product")
+	}
+}
+
+func TestGemmSubTransB(t *testing.T) {
+	const n = 5
+	a, b := randBlock(6, n), randBlock(7, n)
+	c := make([]float64, n*n)
+	GemmSubTransB(c, a, b, n)
+	want := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[j*n+k]
+			}
+			want[i*n+j] = -s
+		}
+	}
+	if MaxAbsDiff(c, want) > 1e-12 {
+		t.Fatal("GemmSubTransB wrong")
+	}
+}
+
+func TestPotrfReconstruction(t *testing.T) {
+	const n = 16
+	a := spdBlock(8, n)
+	orig := append([]float64(nil), a...)
+	if err := Potrf(a, n); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct L·Lᵀ.
+	rec := make([]float64, n*n)
+	GemmSubTransB(rec, a, a, n)
+	for i := range rec {
+		rec[i] = -rec[i]
+	}
+	if d := MaxAbsDiff(rec, orig); d > 1e-9*FrobNorm(orig) {
+		t.Fatalf("L·Lᵀ differs from A by %g", d)
+	}
+	// Upper triangle must be zeroed.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if a[i*n+j] != 0 {
+				t.Fatal("upper triangle not zeroed")
+			}
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 0, 0, -1} // eigenvalue -1
+	if err := Potrf(a, 2); err == nil {
+		t.Fatal("indefinite matrix must be rejected")
+	}
+}
+
+func TestTrsmRightLowerTrans(t *testing.T) {
+	const n = 8
+	a := spdBlock(9, n)
+	if err := Potrf(a, n); err != nil {
+		t.Fatal(err)
+	}
+	b := randBlock(10, n)
+	orig := append([]float64(nil), b...)
+	TrsmRightLowerTrans(a, b, n)
+	// Check X·Lᵀ == B: rec = X·Lᵀ via rec -= X·(L)ᵀ... use GemmSubTransB
+	// with B arg = L gives rec -= X·Lᵀ.
+	rec := make([]float64, n*n)
+	GemmSubTransB(rec, b, a, n)
+	for i := range rec {
+		rec[i] = -rec[i]
+	}
+	if d := MaxAbsDiff(rec, orig); d > 1e-9*FrobNorm(orig) {
+		t.Fatalf("trsm residual %g", d)
+	}
+}
+
+func TestLu0SplitReconstruct(t *testing.T) {
+	const n = 12
+	a := dominantBlock(11, n)
+	orig := append([]float64(nil), a...)
+	if err := Lu0(a, n); err != nil {
+		t.Fatal(err)
+	}
+	l, u := SplitLU(a, n)
+	rec := make([]float64, n*n)
+	GemmAdd(rec, l, u, n)
+	if d := MaxAbsDiff(rec, orig); d > 1e-9*FrobNorm(orig) {
+		t.Fatalf("L·U residual %g", d)
+	}
+}
+
+func TestLu0ZeroPivot(t *testing.T) {
+	a := []float64{0, 1, 1, 0}
+	if err := Lu0(a, 2); err == nil {
+		t.Fatal("zero pivot must error")
+	}
+}
+
+func TestFwdSolvesUnitLower(t *testing.T) {
+	const n = 8
+	diag := dominantBlock(12, n)
+	if err := Lu0(diag, n); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := SplitLU(diag, n)
+	b := randBlock(13, n)
+	orig := append([]float64(nil), b...)
+	Fwd(diag, b, n)
+	rec := make([]float64, n*n)
+	GemmAdd(rec, l, b, n)
+	if d := MaxAbsDiff(rec, orig); d > 1e-9*FrobNorm(orig) {
+		t.Fatalf("fwd residual %g", d)
+	}
+}
+
+func TestBdivSolvesUpperRight(t *testing.T) {
+	const n = 8
+	diag := dominantBlock(14, n)
+	if err := Lu0(diag, n); err != nil {
+		t.Fatal(err)
+	}
+	_, u := SplitLU(diag, n)
+	b := randBlock(15, n)
+	orig := append([]float64(nil), b...)
+	Bdiv(diag, b, n)
+	rec := make([]float64, n*n)
+	GemmAdd(rec, b, u, n)
+	if d := MaxAbsDiff(rec, orig); d > 1e-9*FrobNorm(orig) {
+		t.Fatalf("bdiv residual %g", d)
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		r := xrand.New(uint64(n))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFTRadix2(x, false)
+		FFTRadix2(x, true)
+		for i := range x {
+			x[i] /= complex(float64(n), 0)
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d roundtrip error at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// DFT of an impulse is all-ones; DFT of a constant is an impulse.
+	x := []complex128{1, 0, 0, 0}
+	FFTRadix2(x, false)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse DFT[%d] = %v", i, v)
+		}
+	}
+	y := []complex128{1, 1, 1, 1}
+	FFTRadix2(y, false)
+	if cmplx.Abs(y[0]-4) > 1e-12 || cmplx.Abs(y[1]) > 1e-12 {
+		t.Fatalf("constant DFT = %v", y)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	const n = 128
+	r := xrand.New(20)
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+		timeE += real(x[i]) * real(x[i])
+	}
+	FFTRadix2(x, false)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-6*timeE {
+		t.Fatalf("Parseval violated: %g vs %g", freqE/float64(n), timeE)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two length must panic")
+		}
+	}()
+	FFTRadix2(make([]complex128, 3), false)
+}
+
+func TestPropertyLUThenSolveConsistent(t *testing.T) {
+	// Fwd+Bdiv against a full-rank diag block behave like applying the
+	// factor inverses: GemmSub of recomposition matches.
+	f := func(seed uint64) bool {
+		const n = 6
+		diag := dominantBlock(seed, n)
+		if err := Lu0(diag, n); err != nil {
+			return false
+		}
+		b := randBlock(seed+1, n)
+		fw := append([]float64(nil), b...)
+		Fwd(diag, fw, n)
+		l, _ := SplitLU(diag, n)
+		rec := make([]float64, n*n)
+		GemmAdd(rec, l, fw, n)
+		return MaxAbsDiff(rec, b) < 1e-8*(1+FrobNorm(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGemmAdd32(b *testing.B) {
+	const n = 32
+	x, y, z := randBlock(1, n), randBlock(2, n), randBlock(3, n)
+	b.SetBytes(3 * int64(n) * int64(n) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmAdd(z, x, y, n)
+	}
+}
+
+func BenchmarkPotrf32(b *testing.B) {
+	const n = 32
+	src := spdBlock(4, n)
+	a := make([]float64, n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, src)
+		if err := Potrf(a, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT1K(b *testing.B) {
+	const n = 1024
+	r := xrand.New(5)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFTRadix2(x, i%2 == 1)
+	}
+}

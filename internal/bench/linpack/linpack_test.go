@@ -1,0 +1,91 @@
+package linpack
+
+import (
+	"testing"
+
+	"appfit/internal/bench/kern"
+	"appfit/internal/bench/workload"
+	"appfit/internal/buffer"
+	"appfit/internal/rt"
+)
+
+func TestGridChoicePerMachine(t *testing.T) {
+	// Owners must cover every node for the machine sizes the Figure 6
+	// sweep uses.
+	for _, nodes := range []int{1, 2, 4, 8, 16, 32, 64} {
+		job := W{}.BuildJob(workload.Tiny, nodes, workload.DefaultCostModel())
+		owned := map[int]bool{}
+		for _, task := range job.Tasks {
+			if task.Node < 0 || task.Node >= nodes {
+				t.Fatalf("nodes=%d: task on node %d", nodes, task.Node)
+			}
+			owned[task.Node] = true
+		}
+		if nodes <= 16 && len(owned) != nodes {
+			t.Fatalf("nodes=%d: only %d nodes own blocks", nodes, len(owned))
+		}
+	}
+}
+
+func TestResidualVerifierCatchesWrongFactors(t *testing.T) {
+	// Run the factorization, then corrupt one factor block: the HPL
+	// residual check must fail.
+	p := ParamsFor(workload.Tiny)
+	r := rt.New(rt.Config{Workers: 2})
+	w := W{}
+	verify := w.BuildRT(r, workload.Tiny)
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	// Direct check of VerifyResidual's sensitivity on a tiny instance.
+	pp := Params{Nb: 2, B: 4}
+	bb := pp.B * pp.B
+	blocks := make([][]buffer.F64, pp.Nb)
+	orig := make([][]buffer.F64, pp.Nb)
+	for i := range blocks {
+		blocks[i] = make([]buffer.F64, pp.Nb)
+		orig[i] = make([]buffer.F64, pp.Nb)
+		for j := range blocks[i] {
+			blocks[i][j] = buffer.NewF64(bb)
+			initBlock(blocks[i][j], i, j, pp.B, pp.Nb)
+			orig[i][j] = blocks[i][j].Clone().(buffer.F64)
+		}
+	}
+	// Factor serially with the same kernels.
+	for k := 0; k < pp.Nb; k++ {
+		if err := kern.Lu0(blocks[k][k], pp.B); err != nil {
+			t.Fatal(err)
+		}
+		for j := k + 1; j < pp.Nb; j++ {
+			kern.Fwd(blocks[k][k], blocks[k][j], pp.B)
+		}
+		for i := k + 1; i < pp.Nb; i++ {
+			kern.Bdiv(blocks[k][k], blocks[i][k], pp.B)
+		}
+		for i := k + 1; i < pp.Nb; i++ {
+			for j := k + 1; j < pp.Nb; j++ {
+				kern.GemmSub(blocks[i][j], blocks[i][k], blocks[k][j], pp.B)
+			}
+		}
+	}
+	if err := VerifyResidual(blocks, orig, pp); err != nil {
+		t.Fatalf("clean factorization rejected: %v", err)
+	}
+	blocks[1][0][3] += 0.5
+	if err := VerifyResidual(blocks, orig, pp); err == nil {
+		t.Fatal("corrupted factor accepted")
+	}
+}
+
+func TestParams(t *testing.T) {
+	for _, s := range []workload.Scale{workload.Tiny, workload.Small, workload.Medium} {
+		p := ParamsFor(s)
+		if p.Nb < 2 || p.B < 2 || p.P < 1 || p.Q < 1 {
+			t.Fatalf("%v: bad params %+v", s, p)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package nbody implements the N-body benchmark (Table I: interaction
+// between N bodies, 65536 bodies, block size depending on node count): a
+// blocked all-pairs gravitational simulation with softening. Per timestep,
+// every block pair (i, j) produces one heavy force task computing partial
+// accelerations into a private buffer; a light reduction task per block sums
+// the partials, and an integration task advances the block. Keeping the
+// force tasks independent (instead of chaining them through an inout
+// accumulator) is what gives the workload the Nb² parallelism the paper's
+// distributed scalability experiment rides on.
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"appfit/internal/bench/workload"
+	"appfit/internal/buffer"
+	"appfit/internal/cluster"
+	"appfit/internal/rt"
+	"appfit/internal/xrand"
+)
+
+const (
+	dt  = 0.01
+	eps = 1e-3
+)
+
+// Params sizes the workload: N bodies in Nb = N/B blocks.
+type Params struct {
+	N, B  int
+	Steps int
+}
+
+// Nb returns the block count.
+func (p Params) Nb() int { return p.N / p.B }
+
+// ParamsFor returns parameters at a scale. Medium's 32² = 1024 force tasks
+// per step keep 1024 cores busy (the paper's largest machine).
+func ParamsFor(s workload.Scale) Params {
+	switch s {
+	case workload.Tiny:
+		return Params{N: 64, B: 16, Steps: 2}
+	case workload.Medium:
+		return Params{N: 16384, B: 512, Steps: 5}
+	default:
+		return Params{N: 2048, B: 256, Steps: 4}
+	}
+}
+
+// W is the N-body workload.
+type W struct{}
+
+// New returns the workload.
+func New() workload.Workload { return W{} }
+
+// Name implements workload.Workload.
+func (W) Name() string { return "nbody" }
+
+// Distributed implements workload.Workload.
+func (W) Distributed() bool { return true }
+
+// Description implements workload.Workload.
+func (W) Description() string { return "Interaction between N bodies" }
+
+// PaperSize implements workload.Workload.
+func (W) PaperSize() string { return "Array size 65536 bodies, block size depends on #nodes" }
+
+// InputBytes implements workload.Workload: positions + velocities, 3 doubles
+// each.
+func (W) InputBytes(s workload.Scale) int64 { return int64(ParamsFor(s).N) * 6 * 8 }
+
+// InitBlock fills the position block deterministically on a perturbed
+// lattice; velocities start at zero.
+func InitBlock(pos []float64, block, b int) {
+	r := xrand.New(xrand.Combine(0xB0D7, uint64(block)))
+	for k := 0; k < b; k++ {
+		id := block*b + k
+		pos[3*k+0] = float64(id%31) + 0.01*r.NormFloat64()
+		pos[3*k+1] = float64((id/31)%31) + 0.01*r.NormFloat64()
+		pos[3*k+2] = float64(id/961) + 0.01*r.NormFloat64()
+	}
+}
+
+// PartialForces writes into dst the accelerations that the bodies of posJ
+// exert on the bodies of posI (overwriting dst). posI and posJ may alias.
+func PartialForces(dst, posI, posJ []float64, bI, bJ int) {
+	for a := 0; a < bI; a++ {
+		ax, ay, az := 0.0, 0.0, 0.0
+		x, y, z := posI[3*a], posI[3*a+1], posI[3*a+2]
+		for b := 0; b < bJ; b++ {
+			dx := posJ[3*b] - x
+			dy := posJ[3*b+1] - y
+			dz := posJ[3*b+2] - z
+			r2 := dx*dx + dy*dy + dz*dz + eps
+			inv := 1 / (r2 * math.Sqrt(r2))
+			ax += dx * inv
+			ay += dy * inv
+			az += dz * inv
+		}
+		dst[3*a] = ax
+		dst[3*a+1] = ay
+		dst[3*a+2] = az
+	}
+}
+
+// Reduce sums the per-pair partials (in j order) into acc, overwriting it.
+func Reduce(acc []float64, partials [][]float64) {
+	for k := range acc {
+		acc[k] = 0
+	}
+	for _, p := range partials {
+		for k := range acc {
+			acc[k] += p[k]
+		}
+	}
+}
+
+// Integrate advances one block by one explicit Euler step.
+func Integrate(pos, vel, acc []float64, b int) {
+	for k := 0; k < 3*b; k++ {
+		vel[k] += acc[k] * dt
+		pos[k] += vel[k] * dt
+	}
+}
+
+// Reference runs the identical blocked algorithm serially (same floating-
+// point evaluation order as the task version).
+func Reference(p Params) []float64 {
+	nb, b := p.Nb(), p.B
+	pos := make([][]float64, nb)
+	vel := make([][]float64, nb)
+	for i := 0; i < nb; i++ {
+		pos[i] = make([]float64, 3*b)
+		vel[i] = make([]float64, 3*b)
+		InitBlock(pos[i], i, b)
+	}
+	partials := make([][]float64, nb)
+	for j := range partials {
+		partials[j] = make([]float64, 3*b)
+	}
+	acc := make([]float64, 3*b)
+	for s := 0; s < p.Steps; s++ {
+		newPos := make([][]float64, nb)
+		newVel := make([][]float64, nb)
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				PartialForces(partials[j], pos[i], pos[j], b, b)
+			}
+			Reduce(acc, partials)
+			np := append([]float64(nil), pos[i]...)
+			nv := append([]float64(nil), vel[i]...)
+			Integrate(np, nv, acc, b)
+			newPos[i], newVel[i] = np, nv
+		}
+		pos, vel = newPos, newVel
+	}
+	out := make([]float64, 0, 3*p.N)
+	for i := 0; i < nb; i++ {
+		out = append(out, pos[i]...)
+	}
+	return out
+}
+
+// BuildRT implements workload.Workload.
+func (W) BuildRT(r *rt.Runtime, s workload.Scale) workload.Verifier {
+	p := ParamsFor(s)
+	nb, b := p.Nb(), p.B
+	pos := make([]buffer.F64, nb)
+	vel := make([]buffer.F64, nb)
+	acc := make([]buffer.F64, nb)
+	pacc := make([][]buffer.F64, nb)
+	for i := 0; i < nb; i++ {
+		pos[i] = buffer.NewF64(3 * b)
+		vel[i] = buffer.NewF64(3 * b)
+		acc[i] = buffer.NewF64(3 * b)
+		InitBlock(pos[i], i, b)
+		pacc[i] = make([]buffer.F64, nb)
+		for j := 0; j < nb; j++ {
+			pacc[i][j] = buffer.NewF64(3 * b)
+		}
+	}
+	pk := func(i int) string { return fmt.Sprintf("pos[%d]", i) }
+	vk := func(i int) string { return fmt.Sprintf("vel[%d]", i) }
+	ak := func(i int) string { return fmt.Sprintf("acc[%d]", i) }
+	qk := func(i, j int) string { return fmt.Sprintf("pacc[%d][%d]", i, j) }
+	for step := 0; step < p.Steps; step++ {
+		// All force tasks of the step are registered before any integrate
+		// so every force reads pre-step positions (synchronous/Jacobi
+		// update — the WAR edges from the integrates enforce it).
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				if i == j {
+					r.Submit("force", func(ctx *rt.Ctx) {
+						PartialForces(ctx.F64(1), ctx.F64(0), ctx.F64(0), b, b)
+					}, rt.In(pk(i), pos[i]), rt.Out(qk(i, i), pacc[i][i]))
+					continue
+				}
+				r.Submit("force", func(ctx *rt.Ctx) {
+					PartialForces(ctx.F64(2), ctx.F64(0), ctx.F64(1), b, b)
+				}, rt.In(pk(i), pos[i]), rt.In(pk(j), pos[j]), rt.Out(qk(i, j), pacc[i][j]))
+			}
+		}
+		for i := 0; i < nb; i++ {
+			args := []rt.Arg{rt.Out(ak(i), acc[i])}
+			for j := 0; j < nb; j++ {
+				args = append(args, rt.In(qk(i, j), pacc[i][j]))
+			}
+			r.Submit("reduce", func(ctx *rt.Ctx) {
+				parts := make([][]float64, nb)
+				for j := 0; j < nb; j++ {
+					parts[j] = ctx.F64(j + 1)
+				}
+				Reduce(ctx.F64(0), parts)
+			}, args...)
+			r.Submit("integrate", func(ctx *rt.Ctx) {
+				Integrate(ctx.F64(0), ctx.F64(1), ctx.F64(2), b)
+			}, rt.Inout(pk(i), pos[i]), rt.Inout(vk(i), vel[i]), rt.In(ak(i), acc[i]))
+		}
+	}
+	return func() error {
+		want := Reference(p)
+		for i := 0; i < nb; i++ {
+			for k := 0; k < 3*b; k++ {
+				got := pos[i][k]
+				exp := want[i*3*b+k]
+				if math.Abs(got-exp) > 1e-9*(1+math.Abs(exp)) {
+					return fmt.Errorf("nbody: block %d coord %d = %g, want %g", i, k, got, exp)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// BuildJob implements workload.Workload.
+func (W) BuildJob(s workload.Scale, nodes int, cm workload.CostModel) cluster.Job {
+	p := ParamsFor(s)
+	nb, b := p.Nb(), int64(p.B)
+	blockBytes := 3 * b * 8
+	jb := workload.NewJobBuilder("nbody", cm)
+	jb.SetInputBytes(int64(p.N) * 6 * 8)
+	pk := func(i int) string { return fmt.Sprintf("pos[%d]", i) }
+	vk := func(i int) string { return fmt.Sprintf("vel[%d]", i) }
+	ak := func(i int) string { return fmt.Sprintf("acc[%d]", i) }
+	qk := func(i, j int) string { return fmt.Sprintf("pacc[%d][%d]", i, j) }
+	owner := func(i int) int { return i % nodes }
+	// Force tasks are spread over the whole machine (they read two
+	// position blocks wherever those live), so machines larger than the
+	// block count still fill up — the "block size depends on #nodes"
+	// flexibility Table I notes.
+	forceNode := func(i, j int) int { return (i*nb + j) % nodes }
+	forceFlops := 20 * b * b
+	for step := 0; step < p.Steps; step++ {
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				if i == j {
+					jb.Task("force", forceNode(i, j), forceFlops, 2*blockBytes,
+						workload.RAcc(pk(i), blockBytes), workload.WAcc(qk(i, i), blockBytes))
+					continue
+				}
+				jb.Task("force", forceNode(i, j), forceFlops, 3*blockBytes,
+					workload.RAcc(pk(i), blockBytes), workload.RAcc(pk(j), blockBytes),
+					workload.WAcc(qk(i, j), blockBytes))
+			}
+		}
+		for i := 0; i < nb; i++ {
+			accs := []workload.Acc{workload.WAcc(ak(i), blockBytes)}
+			for j := 0; j < nb; j++ {
+				accs = append(accs, workload.RAcc(qk(i, j), blockBytes))
+			}
+			jb.Task("reduce", owner(i), 3*b*int64(nb), blockBytes*int64(nb), accs...)
+			jb.Task("integrate", owner(i), 6*b, 3*blockBytes,
+				workload.RWAcc(pk(i), blockBytes), workload.RWAcc(vk(i), blockBytes),
+				workload.RAcc(ak(i), blockBytes))
+		}
+	}
+	return jb.Job()
+}

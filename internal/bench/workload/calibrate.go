@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"time"
+
+	"appfit/internal/bench/kern"
+)
+
+// Calibrate measures this host's effective ns/flop and ns/byte on the
+// repository's own kernels (a blocked gemm for flops, a block copy for
+// bytes) and returns a CostModel anchored to them. The virtual cluster's
+// absolute time axis then matches the machine the real runtime runs on,
+// which makes rt-vs-cluster comparisons meaningful. Figure shapes do not
+// depend on the calibration (they are ratios), so the experiments default
+// to DefaultCostModel for reproducibility across hosts.
+func Calibrate() CostModel {
+	const n = 64
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) + 1
+		b[i] = float64(i%5) + 1
+	}
+	// Warm up, then time a few gemms: 2n³ flops each.
+	kern.GemmAdd(c, a, b, n)
+	const reps = 8
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		kern.GemmAdd(c, a, b, n)
+	}
+	flopNs := float64(time.Since(start).Nanoseconds()) / float64(reps*2*n*n*n)
+
+	// Time block copies: 2·len·8 bytes of traffic each.
+	src := make([]float64, 1<<16)
+	dst := make([]float64, 1<<16)
+	copy(dst, src)
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		copy(dst, src)
+	}
+	byteNs := float64(time.Since(start).Nanoseconds()) / float64(reps*2*len(src)*8)
+
+	cm := CostModel{NsPerFlop: flopNs, NsPerByte: byteNs}
+	// Guard against timer pathologies on noisy hosts.
+	if cm.NsPerFlop <= 0 || cm.NsPerFlop > 100 {
+		cm.NsPerFlop = DefaultCostModel().NsPerFlop
+	}
+	if cm.NsPerByte <= 0 || cm.NsPerByte > 100 {
+		cm.NsPerByte = DefaultCostModel().NsPerByte
+	}
+	return cm
+}

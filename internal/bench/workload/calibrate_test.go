@@ -1,0 +1,17 @@
+package workload
+
+import "testing"
+
+func TestCalibrateSane(t *testing.T) {
+	cm := Calibrate()
+	if cm.NsPerFlop <= 0 || cm.NsPerFlop > 100 {
+		t.Fatalf("ns/flop %g out of range", cm.NsPerFlop)
+	}
+	if cm.NsPerByte <= 0 || cm.NsPerByte > 100 {
+		t.Fatalf("ns/byte %g out of range", cm.NsPerByte)
+	}
+	// A calibrated model must still price work monotonically.
+	if cm.Cost(1000, 0) <= cm.Cost(10, 0) {
+		t.Fatal("flop pricing not monotone")
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"appfit/internal/cluster"
+	"appfit/internal/deps"
+)
+
+func TestScaleString(t *testing.T) {
+	if Tiny.String() != "tiny" || Small.String() != "small" || Medium.String() != "medium" {
+		t.Fatal("scale strings")
+	}
+	if Scale(9).String() == "" {
+		t.Fatal("unknown scale must stringify")
+	}
+}
+
+func TestCostModelRoofline(t *testing.T) {
+	cm := CostModel{NsPerFlop: 1, NsPerByte: 2}
+	if cm.Cost(100, 10) != 100 {
+		t.Fatal("compute-bound cost wrong")
+	}
+	if cm.Cost(10, 100) != 200 {
+		t.Fatal("memory-bound cost wrong")
+	}
+	if cm.Cost(0, 0) != 1 {
+		t.Fatal("cost must have a 1ns floor")
+	}
+	d := DefaultCostModel()
+	if d.NsPerFlop <= 0 || d.NsPerByte <= 0 {
+		t.Fatal("bad defaults")
+	}
+}
+
+func TestAccConstructors(t *testing.T) {
+	if RAcc("k", 8).Mode != deps.In || WAcc("k", 8).Mode != deps.Out || RWAcc("k", 8).Mode != deps.Inout {
+		t.Fatal("acc modes wrong")
+	}
+}
+
+func TestJobBuilderEdges(t *testing.T) {
+	jb := NewJobBuilder("t", DefaultCostModel())
+	jb.SetInputBytes(123)
+	w := jb.Task("w", 0, 10, 10, WAcc("A", 64))
+	r1 := jb.Task("r1", 1, 10, 10, RAcc("A", 64))
+	r2 := jb.Task("r2", 1, 10, 10, RAcc("A", 64))
+	w2 := jb.Task("w2", 0, 10, 10, WAcc("A", 64))
+	job := jb.Job()
+	if job.InputBytes != 123 || job.Name != "t" {
+		t.Fatal("metadata lost")
+	}
+	// RAW: readers depend on writer with payload.
+	for _, r := range []int{r1, r2} {
+		task := job.Tasks[r]
+		if len(task.Deps) != 1 || task.Deps[0] != w {
+			t.Fatalf("reader deps %v", task.Deps)
+		}
+		if task.DepBytes[0] != 64 {
+			t.Fatalf("RAW payload %d", task.DepBytes[0])
+		}
+	}
+	// WAW + WAR: the second writer depends on the first writer and both
+	// readers, all with zero payload (it overwrites the region).
+	wt := job.Tasks[w2]
+	if len(wt.Deps) != 3 {
+		t.Fatalf("w2 deps %v", wt.Deps)
+	}
+	for k := range wt.Deps {
+		if wt.DepBytes[k] != 0 {
+			t.Fatal("WAW/WAR edges must carry no payload")
+		}
+	}
+	if err := job.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobBuilderWAW(t *testing.T) {
+	jb := NewJobBuilder("t", DefaultCostModel())
+	a := jb.Task("a", 0, 1, 1, WAcc("X", 32))
+	b := jb.Task("b", 0, 1, 1, WAcc("X", 32))
+	job := jb.Job()
+	if len(job.Tasks[b].Deps) != 1 || job.Tasks[b].Deps[0] != a {
+		t.Fatalf("WAW edge missing: %v", job.Tasks[b].Deps)
+	}
+}
+
+func TestJobBuilderInoutChain(t *testing.T) {
+	jb := NewJobBuilder("t", DefaultCostModel())
+	prev := -1
+	for i := 0; i < 5; i++ {
+		idx := jb.Task("u", 0, 1, 1, RWAcc("X", 16))
+		job := jb.Job()
+		if i > 0 {
+			if len(job.Tasks[idx].Deps) != 1 || job.Tasks[idx].Deps[0] != prev {
+				t.Fatalf("step %d: deps %v", i, job.Tasks[idx].Deps)
+			}
+		}
+		prev = idx
+	}
+}
+
+func TestJobBuilderArgBytes(t *testing.T) {
+	jb := NewJobBuilder("t", DefaultCostModel())
+	jb.Task("m", 0, 1, 1, RAcc("A", 100), RWAcc("B", 28))
+	if jb.Job().Tasks[0].ArgBytes != 128 {
+		t.Fatalf("arg bytes %d", jb.Job().Tasks[0].ArgBytes)
+	}
+}
+
+func TestJobBuilderProducesRunnableJob(t *testing.T) {
+	jb := NewJobBuilder("t", DefaultCostModel())
+	jb.Task("a", 0, 100, 0, WAcc("X", 8))
+	jb.Task("b", 1, 100, 0, RAcc("X", 8), WAcc("Y", 8))
+	jb.Task("c", 0, 100, 0, RAcc("Y", 8))
+	res, err := cluster.Run(jb.Job(), cluster.Config{Nodes: 2, CoresPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("empty makespan")
+	}
+	if res.Messages < 2 {
+		t.Fatalf("cross-node edges not charged: %d messages", res.Messages)
+	}
+}

@@ -1,0 +1,159 @@
+// Package ckpt is the checkpoint store of the replication design: "at the
+// beginning of the task, the task's inputs are checkpointed" (paper §III,
+// Figure 2 step 1), and on SDC detection "the task's initial state is
+// restored from its checkpoint and is re-executed" (step 4).
+//
+// The paper assumes checkpoints live in a safe memory region whose own
+// failure rate is negligible (§IV-A); we model that with ordinary heap
+// copies that the fault injector never touches (the injector only corrupts
+// task output buffers). The store also supports keeping K redundant copies
+// per checkpoint, the paper's "multiple checkpoints" hardening option.
+package ckpt
+
+import (
+	"fmt"
+	"sync"
+
+	"appfit/internal/buffer"
+)
+
+// Store holds input checkpoints keyed by task id. It is safe for concurrent
+// use by all workers.
+type Store struct {
+	mu     sync.Mutex
+	copies int
+	chks   map[uint64][][]buffer.Buffer // task id -> K copies of its inputs
+	// accounting
+	bytesSaved   int64
+	bytesLive    int64
+	peakLive     int64
+	saves, rests uint64
+}
+
+// NewStore returns a Store keeping copies redundant copies per checkpoint
+// (minimum 1).
+func NewStore(copies int) *Store {
+	if copies < 1 {
+		copies = 1
+	}
+	return &Store{copies: copies, chks: make(map[uint64][][]buffer.Buffer)}
+}
+
+// Save deep-copies the given input buffers as the checkpoint of task id.
+// Saving twice for the same id replaces the earlier checkpoint.
+func (s *Store) Save(id uint64, inputs []buffer.Buffer) {
+	sets := make([][]buffer.Buffer, s.copies)
+	var sz int64
+	for k := range sets {
+		set := make([]buffer.Buffer, len(inputs))
+		for i, b := range inputs {
+			if b != nil {
+				set[i] = b.Clone()
+				sz += b.SizeBytes()
+			}
+		}
+		sets[k] = set
+	}
+	s.mu.Lock()
+	if old, ok := s.chks[id]; ok {
+		s.bytesLive -= setsBytes(old)
+	}
+	s.chks[id] = sets
+	s.bytesSaved += sz
+	s.bytesLive += sz
+	if s.bytesLive > s.peakLive {
+		s.peakLive = s.bytesLive
+	}
+	s.saves++
+	s.mu.Unlock()
+}
+
+func setsBytes(sets [][]buffer.Buffer) int64 {
+	var n int64
+	for _, set := range sets {
+		for _, b := range set {
+			if b != nil {
+				n += b.SizeBytes()
+			}
+		}
+	}
+	return n
+}
+
+// Restore copies the checkpoint of task id back into dst (which must have
+// the same shape as the saved inputs). With multiple copies, the first copy
+// is used; corrupt-copy arbitration is outside our fault model because the
+// store is safe memory by assumption.
+func (s *Store) Restore(id uint64, dst []buffer.Buffer) error {
+	s.mu.Lock()
+	sets, ok := s.chks[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ckpt: no checkpoint for task %d", id)
+	}
+	src := sets[0]
+	if len(src) != len(dst) {
+		return fmt.Errorf("ckpt: restore shape mismatch for task %d: %d saved, %d given", id, len(src), len(dst))
+	}
+	for i := range src {
+		if src[i] == nil {
+			if dst[i] != nil {
+				return fmt.Errorf("ckpt: restore arg %d: saved nil, dst non-nil", i)
+			}
+			continue
+		}
+		if err := dst[i].CopyFrom(src[i]); err != nil {
+			return fmt.Errorf("ckpt: restore arg %d of task %d: %w", i, id, err)
+		}
+	}
+	s.mu.Lock()
+	s.rests++
+	s.mu.Unlock()
+	return nil
+}
+
+// Release discards the checkpoint of task id, freeing safe memory. Releasing
+// an absent id is a no-op (the task may not have been replicated).
+func (s *Store) Release(id uint64) {
+	s.mu.Lock()
+	if sets, ok := s.chks[id]; ok {
+		s.bytesLive -= setsBytes(sets)
+		delete(s.chks, id)
+	}
+	s.mu.Unlock()
+}
+
+// Stats describes the store's activity.
+type Stats struct {
+	// Saves and Restores count operations.
+	Saves, Restores uint64
+	// BytesSaved is the cumulative size of all checkpoints taken.
+	BytesSaved int64
+	// BytesLive is the current resident checkpoint footprint.
+	BytesLive int64
+	// PeakLive is the maximum resident footprint observed.
+	PeakLive int64
+	// Copies is the redundancy factor.
+	Copies int
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Saves:      s.saves,
+		Restores:   s.rests,
+		BytesSaved: s.bytesSaved,
+		BytesLive:  s.bytesLive,
+		PeakLive:   s.peakLive,
+		Copies:     s.copies,
+	}
+}
+
+// Live returns the number of resident checkpoints.
+func (s *Store) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.chks)
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+
+	"appfit/internal/fault"
+	"appfit/internal/simtime"
+)
+
+func TestSpareCoresAbsorbReplicas(t *testing.T) {
+	// 8 independent tasks, 8 primary cores, 8 spare cores: complete
+	// replication must not stretch the makespan at all.
+	job := fanJob(8, 1000)
+	base, err := Run(job, Config{Nodes: 1, CoresPerNode: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := Run(job, Config{
+		Nodes: 1, CoresPerNode: 8, ReplicaCores: 8,
+		Replicated: All(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Makespan != base.Makespan {
+		t.Fatalf("spare cores failed to absorb replicas: %d vs %d",
+			repl.Makespan, base.Makespan)
+	}
+}
+
+func TestSpareCoresSmallerPoolQueues(t *testing.T) {
+	// With only 2 spare cores for 8 replicas, replica drain takes 4 waves
+	// while primaries take 1: the makespan is replica-bound.
+	job := fanJob(8, 1000)
+	repl, err := Run(job, Config{
+		Nodes: 1, CoresPerNode: 8, ReplicaCores: 2,
+		Replicated: All(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Makespan != 4000 {
+		t.Fatalf("makespan %d, want 4000 (replica pool of 2)", repl.Makespan)
+	}
+}
+
+func TestRecoveryRunsOnSparePool(t *testing.T) {
+	// A re-execution (attempt 2) must occupy the spare pool, leaving the
+	// primary core free for the next task.
+	inj := fault.NewScript().Set(1, 0, fault.SDC)
+	job := Job{Tasks: []Task{
+		{Node: 0, Cost: 1000},
+		{Node: 0, Cost: 1000}, // independent
+	}}
+	res, err := Run(job, Config{
+		Nodes: 1, CoresPerNode: 1, ReplicaCores: 1,
+		Replicated: All(2), Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primary core: task0 (1000) then task1 (1000). Spare core: replica0,
+	// then reexec0 (after compare at 2000... reexec ends 3000), replica1.
+	// Makespan bounded by the recovery chain: 3000.
+	if res.Makespan != 3000 {
+		t.Fatalf("makespan %d, want 3000", res.Makespan)
+	}
+	if res.SDCDetected != 1 || res.Reexecutions != 1 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestPriorityFavorsEarlierTasks(t *testing.T) {
+	// Two ready tasks on one core: the earlier-submitted (lower-index,
+	// critical-path) task must run first even if enqueued later.
+	job := Job{Tasks: []Task{
+		{Node: 0, Cost: 100},                 // 0: root
+		{Node: 0, Cost: 100},                 // 1: root
+		{Node: 0, Cost: 100, Deps: []int{0}}, // 2
+	}}
+	res, err := Run(job, Config{Nodes: 1, CoresPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial either way; this guards determinism of the heap order.
+	if res.Makespan != 300 {
+		t.Fatalf("makespan %d", res.Makespan)
+	}
+}
+
+func TestPerNodeTransferDedup(t *testing.T) {
+	// One producer feeding 4 consumers on the same remote node must send
+	// exactly one message carrying the payload once.
+	job := Job{Tasks: []Task{
+		{Node: 0, Cost: 100},
+	}}
+	for i := 0; i < 4; i++ {
+		job.Tasks = append(job.Tasks, Task{
+			Node: 1, Cost: 100, Deps: []int{0}, DepBytes: []int64{1000},
+		})
+	}
+	res, err := Run(job, Config{Nodes: 2, CoresPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 1 {
+		t.Fatalf("messages %d, want 1 (per-node dedup)", res.Messages)
+	}
+	if res.BytesSent != 1000 {
+		t.Fatalf("bytes %d, want 1000", res.BytesSent)
+	}
+}
+
+func TestTransferStillPaysPerDistinctNode(t *testing.T) {
+	job := Job{Tasks: []Task{{Node: 0, Cost: 100}}}
+	for n := 1; n <= 3; n++ {
+		job.Tasks = append(job.Tasks, Task{
+			Node: n, Cost: 100, Deps: []int{0}, DepBytes: []int64{500},
+		})
+	}
+	res, err := Run(job, Config{Nodes: 4, CoresPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 3 || res.BytesSent != 1500 {
+		t.Fatalf("messages=%d bytes=%d", res.Messages, res.BytesSent)
+	}
+}
+
+func TestSpareSweepMonotoneInSpares(t *testing.T) {
+	job := fanJob(16, 1000)
+	var last simtime.Time = 1 << 62
+	for _, spares := range []int{1, 2, 4, 8, 16} {
+		res, err := Run(job, Config{
+			Nodes: 1, CoresPerNode: 16, ReplicaCores: spares,
+			Replicated: All(16),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan > last {
+			t.Fatalf("more spare cores slower: %d spares -> %d", spares, res.Makespan)
+		}
+		last = res.Makespan
+	}
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"appfit/internal/fit"
+	"appfit/internal/xrand"
+)
+
+func uniformTasks(n int, each float64) []fit.Task {
+	ts := make([]fit.Task, n)
+	for i := range ts {
+		ts[i] = fit.Task{ID: uint64(i + 1), DUE: each / 2, SDC: each / 2}
+	}
+	return ts
+}
+
+// runSequential feeds tasks through a selector in order, observing each
+// decision immediately (serial execution).
+func runSequential(s Selector, tasks []fit.Task) []bool {
+	out := make([]bool, len(tasks))
+	for i, t := range tasks {
+		out[i] = s.Decide(t)
+		s.Observe(t, out[i])
+	}
+	return out
+}
+
+func TestAppFITUniformTenX(t *testing.T) {
+	// N tasks of equal FIT f at 10× rates, threshold = N*f/10 (today's
+	// reliability): the heuristic must replicate ~90% of tasks.
+	const n = 1000
+	const f = 1.0
+	a := NewAppFIT(n*f/10, n)
+	dec := runSequential(a, uniformTasks(n, f))
+	frac := FractionReplicated(dec)
+	if math.Abs(frac-0.9) > 0.011 {
+		t.Fatalf("replicated %.3f, want ~0.9", frac)
+	}
+	if a.CurrentFIT() > a.Threshold()+1e-9 {
+		t.Fatalf("unprotected FIT %g exceeds threshold %g", a.CurrentFIT(), a.Threshold())
+	}
+}
+
+func TestAppFITUniformFiveX(t *testing.T) {
+	const n = 1000
+	a := NewAppFIT(n*1.0/5, n)
+	frac := FractionReplicated(runSequential(a, uniformTasks(n, 1.0)))
+	if math.Abs(frac-0.8) > 0.011 {
+		t.Fatalf("replicated %.3f, want ~0.8", frac)
+	}
+}
+
+func TestAppFITThresholdContractSequential(t *testing.T) {
+	// Property: under serial execution the unprotected FIT of the first i
+	// decided tasks never exceeds (threshold/N)*i.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 50 + r.Intn(200)
+		tasks := make([]fit.Task, n)
+		total := 0.0
+		for i := range tasks {
+			v := r.ExpFloat64() // skewed FITs
+			tasks[i] = fit.Task{ID: uint64(i + 1), DUE: v, SDC: v / 2}
+			total += tasks[i].Total()
+		}
+		thr := total / (1 + 9*r.Float64()) // 1×..10× tightening
+		a := NewAppFIT(thr, n)
+		cur := 0.0
+		for i, tk := range tasks {
+			rep := a.Decide(tk)
+			a.Observe(tk, rep)
+			if !rep {
+				cur += tk.Total()
+			}
+			budget := thr / float64(n) * float64(i+1)
+			if cur > budget+1e-9 {
+				return false
+			}
+		}
+		return a.MaxExcess() <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppFITNeverExceedsThreshold(t *testing.T) {
+	// End-of-run contract: final unprotected FIT ≤ threshold, for any task
+	// mix, since the budget at i=N is exactly the threshold.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 20 + r.Intn(100)
+		tasks := make([]fit.Task, n)
+		total := 0.0
+		for i := range tasks {
+			tasks[i] = fit.Task{ID: uint64(i + 1), SDC: r.Float64() * 10}
+			total += tasks[i].Total()
+		}
+		thr := total / 10
+		a := NewAppFIT(thr, n)
+		runSequential(a, tasks)
+		return a.CurrentFIT() <= thr+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppFITSkewedNeedsFewerReplicas(t *testing.T) {
+	// §V-A1: "there is a few number of tasks whose reliability impacts are
+	// much higher than others and their selection for replication is
+	// sufficient" — with a heavy-tailed FIT distribution, far fewer than
+	// 90% of tasks need replication at 10× rates.
+	const n = 1000
+	tasks := make([]fit.Task, n)
+	total := 0.0
+	for i := range tasks {
+		f := 0.01
+		if i%100 == 0 { // 1% of tasks carry ~92% of the FIT
+			f = 12.0
+		}
+		tasks[i] = fit.Task{ID: uint64(i + 1), DUE: f}
+		total += f
+	}
+	a := NewAppFIT(total/10, n)
+	frac := FractionReplicated(runSequential(a, tasks))
+	if frac > 0.5 {
+		t.Fatalf("skewed workload replicated %.2f of tasks; expected far less than 0.9", frac)
+	}
+	if a.CurrentFIT() > a.Threshold()+1e-9 {
+		t.Fatal("threshold violated")
+	}
+}
+
+func TestAppFITLooseThresholdReplicatesNothing(t *testing.T) {
+	const n = 100
+	tasks := uniformTasks(n, 1.0)
+	a := NewAppFIT(float64(n)*2, n) // threshold above total FIT
+	frac := FractionReplicated(runSequential(a, tasks))
+	if frac != 0 {
+		t.Fatalf("replicated %.2f with slack threshold", frac)
+	}
+}
+
+func TestAppFITZeroThresholdReplicatesEverything(t *testing.T) {
+	const n = 100
+	a := NewAppFIT(0, n)
+	frac := FractionReplicated(runSequential(a, uniformTasks(n, 1.0)))
+	if frac != 1 {
+		t.Fatalf("replicated %.2f with zero threshold", frac)
+	}
+}
+
+func TestAppFITAccessors(t *testing.T) {
+	a := NewAppFIT(10, 5)
+	if a.Name() != "app_fit" {
+		t.Fatal("bad name")
+	}
+	tk := fit.Task{ID: 1, DUE: 1}
+	rep := a.Decide(tk)
+	a.Observe(tk, rep)
+	if a.Decided() != 1 {
+		t.Fatalf("decided = %d", a.Decided())
+	}
+	if a.Replicated() != 0 { // budget 10/5*1=2 ≥ 1 → unreplicated
+		t.Fatalf("replicated = %d", a.Replicated())
+	}
+	if a.CurrentFIT() != 1 {
+		t.Fatalf("current = %g", a.CurrentFIT())
+	}
+	if NewAppFIT(1, 0).n != 1 {
+		t.Fatal("totalTasks must clamp to 1")
+	}
+}
+
+func TestAppFITConcurrentDecisionsSafe(t *testing.T) {
+	// Concurrent Decide/Observe must not race or lose decisions.
+	const n = 2000
+	a := NewAppFIT(100, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				tk := fit.Task{ID: uint64(i + 1), DUE: 0.5}
+				a.Observe(tk, a.Decide(tk))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.Decided() != n {
+		t.Fatalf("decided %d of %d", a.Decided(), n)
+	}
+}
+
+func TestAppFITStrictContractUnderConcurrency(t *testing.T) {
+	// The strict variant charges at decision time, so even with concurrent
+	// deciders the invariant holds at every instant.
+	const n = 2000
+	total := float64(n) * 1.0
+	a := NewAppFITStrict(total/10, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				tk := fit.Task{ID: uint64(i + 1), DUE: 1.0}
+				a.Observe(tk, a.Decide(tk))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.CurrentFIT() > total/10+1e-9 {
+		t.Fatalf("strict variant exceeded threshold: %g > %g", a.CurrentFIT(), total/10)
+	}
+	if a.Name() != "app_fit_strict" {
+		t.Fatal("bad name")
+	}
+}
+
+func TestStrictReplicatesAtLeastAsMuchAsBase(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 100 + r.Intn(100)
+		tasks := make([]fit.Task, n)
+		total := 0.0
+		for i := range tasks {
+			tasks[i] = fit.Task{ID: uint64(i + 1), DUE: r.ExpFloat64()}
+			total += tasks[i].Total()
+		}
+		thr := total / 8
+		base := NewAppFIT(thr, n)
+		strict := NewAppFITStrict(thr, n)
+		runSequential(base, tasks)
+		bs := 0
+		for _, d := range runSequential(strict, tasks) {
+			if d {
+				bs++
+			}
+		}
+		// Under sequential execution the two are identical.
+		return bs == base.Replicated()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrivialSelectors(t *testing.T) {
+	tk := fit.Task{ID: 1, DUE: 5}
+	if !(ReplicateAll{}).Decide(tk) {
+		t.Fatal("ReplicateAll must replicate")
+	}
+	if (ReplicateNone{}).Decide(tk) {
+		t.Fatal("ReplicateNone must not replicate")
+	}
+	if (ReplicateAll{}).Name() != "replicate_all" || (ReplicateNone{}).Name() != "replicate_none" {
+		t.Fatal("bad names")
+	}
+	ReplicateAll{}.Observe(tk, true)
+	ReplicateNone{}.Observe(tk, false)
+}
+
+func TestRandomPct(t *testing.T) {
+	r := RandomPct{P: 0.3, Seed: 7}
+	if r.Name() != "random_pct" {
+		t.Fatal("bad name")
+	}
+	n, reps := 20000, 0
+	for i := 0; i < n; i++ {
+		tk := fit.Task{ID: uint64(i + 1)}
+		if r.Decide(tk) {
+			reps++
+		}
+		r.Observe(tk, false)
+	}
+	if got := float64(reps) / float64(n); math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("random fraction %.3f, want ~0.3", got)
+	}
+	// Deterministic given (seed, id).
+	if r.Decide(fit.Task{ID: 42}) != r.Decide(fit.Task{ID: 42}) {
+		t.Fatal("RandomPct must be deterministic per task")
+	}
+}
+
+func TestKnapsackOracleBasic(t *testing.T) {
+	tasks := []fit.Task{
+		{ID: 1, DUE: 5},
+		{ID: 2, DUE: 1},
+		{ID: 3, DUE: 1},
+		{ID: 4, DUE: 10},
+	}
+	// Budget 2: keep the two FIT-1 tasks unreplicated, replicate the rest.
+	res := KnapsackOracle(tasks, 2)
+	if res.NumReplicated != 2 {
+		t.Fatalf("replicated %d, want 2", res.NumReplicated)
+	}
+	if !res.Replicate[0] || res.Replicate[1] || res.Replicate[2] || !res.Replicate[3] {
+		t.Fatalf("selection %v", res.Replicate)
+	}
+	if res.UnprotectedFIT != 2 {
+		t.Fatalf("unprotected = %g", res.UnprotectedFIT)
+	}
+}
+
+func TestKnapsackOracleRespectsBudget(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 10 + r.Intn(80)
+		tasks := make([]fit.Task, n)
+		total := 0.0
+		for i := range tasks {
+			tasks[i] = fit.Task{ID: uint64(i + 1), SDC: r.Float64() * 4}
+			total += tasks[i].Total()
+		}
+		thr := total * r.Float64()
+		res := KnapsackOracle(tasks, thr)
+		return res.UnprotectedFIT <= thr+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleNeverWorseThanAppFIT(t *testing.T) {
+	// The offline optimum must replicate no more tasks than the online
+	// heuristic, for the same threshold.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 50 + r.Intn(150)
+		tasks := make([]fit.Task, n)
+		total := 0.0
+		for i := range tasks {
+			tasks[i] = fit.Task{ID: uint64(i + 1), DUE: r.ExpFloat64()}
+			total += tasks[i].Total()
+		}
+		thr := total / 10
+		a := NewAppFIT(thr, n)
+		runSequential(a, tasks)
+		res := KnapsackOracle(tasks, thr)
+		return res.NumReplicated <= a.Replicated()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionReplicated(t *testing.T) {
+	if FractionReplicated(nil) != 0 {
+		t.Fatal("empty must be 0")
+	}
+	if FractionReplicated([]bool{true, false, true, false}) != 0.5 {
+		t.Fatal("want 0.5")
+	}
+}
+
+func TestDecisionCostNonZero(t *testing.T) {
+	if DecisionCost(1024) == 0 {
+		t.Fatal("decision cost model returned 0")
+	}
+}
+
+// BenchmarkAppFITDecision measures the real per-task decision cost, backing
+// the paper's "one branch and about 50 multiplication and addition
+// instructions" overhead claim (§V-A1).
+func BenchmarkAppFITDecision(b *testing.B) {
+	a := NewAppFIT(1e6, b.N+1)
+	tk := fit.Task{ID: 1, DUE: 0.001, SDC: 0.001}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.ID = uint64(i + 1)
+		a.Observe(tk, a.Decide(tk))
+	}
+}
+
+func BenchmarkKnapsackOracle10K(b *testing.B) {
+	r := xrand.New(1)
+	tasks := make([]fit.Task, 10000)
+	total := 0.0
+	for i := range tasks {
+		tasks[i] = fit.Task{ID: uint64(i + 1), DUE: r.ExpFloat64()}
+		total += tasks[i].Total()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KnapsackOracle(tasks, total/10)
+	}
+}

@@ -1,0 +1,311 @@
+package deps
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"appfit/internal/xrand"
+)
+
+func TestModeSemantics(t *testing.T) {
+	if !In.Reads() || In.Writes() {
+		t.Fatal("in must read, not write")
+	}
+	if Out.Reads() || !Out.Writes() {
+		t.Fatal("out must write, not read")
+	}
+	if !Inout.Reads() || !Inout.Writes() {
+		t.Fatal("inout must read and write")
+	}
+	for _, m := range []Mode{In, Out, Inout, Mode(9)} {
+		if m.String() == "" {
+			t.Fatal("empty Mode string")
+		}
+	}
+}
+
+func TestRAW(t *testing.T) {
+	tr := NewTracker()
+	if !tr.Register(1, []Access{{"A", Out}}) {
+		t.Fatal("writer with no history must be ready")
+	}
+	if tr.Register(2, []Access{{"A", In}}) {
+		t.Fatal("reader must wait for writer")
+	}
+	ready := tr.Complete(1)
+	if len(ready) != 1 || ready[0] != 2 {
+		t.Fatalf("completing writer should release reader, got %v", ready)
+	}
+}
+
+func TestWAR(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, []Access{{"A", Out}})
+	tr.Complete(1)
+	if !tr.Register(2, []Access{{"A", In}}) {
+		t.Fatal("reader after completed writer must be ready")
+	}
+	if tr.Register(3, []Access{{"A", Out}}) {
+		t.Fatal("writer must wait for in-flight reader (WAR)")
+	}
+	ready := tr.Complete(2)
+	if len(ready) != 1 || ready[0] != 3 {
+		t.Fatalf("got %v", ready)
+	}
+}
+
+func TestWAW(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, []Access{{"A", Out}})
+	if tr.Register(2, []Access{{"A", Out}}) {
+		t.Fatal("second writer must wait for first (WAW)")
+	}
+	ready := tr.Complete(1)
+	if len(ready) != 1 || ready[0] != 2 {
+		t.Fatalf("got %v", ready)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, []Access{{"A", Out}})
+	tr.Complete(1)
+	for id := uint64(2); id <= 5; id++ {
+		if !tr.Register(id, []Access{{"A", In}}) {
+			t.Fatalf("reader %d should be ready (writer done)", id)
+		}
+	}
+	// A writer must wait for all four readers.
+	if tr.Register(6, []Access{{"A", Inout}}) {
+		t.Fatal("inout must wait for readers")
+	}
+	if p := tr.Pending(6); p != 4 {
+		t.Fatalf("pending = %d, want 4", p)
+	}
+	for id := uint64(2); id <= 4; id++ {
+		if r := tr.Complete(id); len(r) != 0 {
+			t.Fatalf("early release: %v", r)
+		}
+	}
+	if r := tr.Complete(5); len(r) != 1 || r[0] != 6 {
+		t.Fatalf("got %v", r)
+	}
+}
+
+func TestFigure1Semantics(t *testing.T) {
+	// The paper's Figure 1: tasks A1, A2 operate on array A (inout), task B
+	// on array B (inout). Dataflow lets B run before/with A1; A2 depends
+	// only on A1.
+	tr := NewTracker()
+	readyA1 := tr.Register(1, []Access{{"A", Inout}})
+	readyA2 := tr.Register(2, []Access{{"A", Inout}})
+	readyB := tr.Register(3, []Access{{"B", Inout}})
+	if !readyA1 {
+		t.Fatal("A1 must be ready")
+	}
+	if readyA2 {
+		t.Fatal("A2 must depend on A1")
+	}
+	if !readyB {
+		t.Fatal("B must be independent of A1/A2 under dataflow")
+	}
+}
+
+func TestDedupEdges(t *testing.T) {
+	// A successor depending on the same predecessor through two regions
+	// must count it once.
+	tr := NewTracker()
+	tr.Register(1, []Access{{"A", Out}, {"B", Out}})
+	tr.Register(2, []Access{{"A", In}, {"B", In}})
+	if p := tr.Pending(2); p != 1 {
+		t.Fatalf("pending = %d, want 1 (dedup)", p)
+	}
+	if tr.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1", tr.Edges())
+	}
+}
+
+func TestInoutChain(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, []Access{{"X", Inout}})
+	tr.Register(2, []Access{{"X", Inout}})
+	tr.Register(3, []Access{{"X", Inout}})
+	if tr.Pending(2) != 1 || tr.Pending(3) != 1 {
+		t.Fatal("inout chain must serialize, each waiting only on prior")
+	}
+	if r := tr.Complete(1); len(r) != 1 || r[0] != 2 {
+		t.Fatalf("got %v", r)
+	}
+	if r := tr.Complete(2); len(r) != 1 || r[0] != 3 {
+		t.Fatalf("got %v", r)
+	}
+}
+
+func TestDuplicateIDPanics(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate id must panic")
+		}
+	}()
+	tr.Register(1, nil)
+}
+
+func TestZeroIDPanics(t *testing.T) {
+	tr := NewTracker()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("id 0 must panic")
+		}
+	}()
+	tr.Register(0, nil)
+}
+
+func TestDoubleCompletePanics(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, nil)
+	tr.Complete(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double complete must panic")
+		}
+	}()
+	tr.Complete(1)
+}
+
+func TestPendingUnknown(t *testing.T) {
+	if NewTracker().Pending(99) != -1 {
+		t.Fatal("unknown task should report -1")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, []Access{{"A", Out}})
+	tr.Reset()
+	if tr.Tasks() != 0 || tr.Edges() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	// Old region history must be gone: a reader of A is now ready.
+	if !tr.Register(1, []Access{{"A", In}}) {
+		t.Fatal("reset did not clear region state")
+	}
+}
+
+// TestPropertyAllTasksEventuallyReady simulates random graphs and checks that
+// completing tasks in any valid order releases every task exactly once.
+func TestPropertyAllTasksEventuallyReady(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		tr := NewTracker()
+		const n = 60
+		const nkeys = 8
+		ready := []uint64{}
+		readyCount := 0
+		for id := uint64(1); id <= n; id++ {
+			na := 1 + r.Intn(3)
+			var acc []Access
+			for j := 0; j < na; j++ {
+				acc = append(acc, Access{
+					Key:  fmt.Sprintf("k%d", r.Intn(nkeys)),
+					Mode: Mode(r.Intn(3)),
+				})
+			}
+			if tr.Register(id, acc) {
+				ready = append(ready, id)
+			}
+		}
+		done := 0
+		for len(ready) > 0 {
+			// Pop a random ready task.
+			i := r.Intn(len(ready))
+			id := ready[i]
+			ready[i] = ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			done++
+			ready = append(ready, tr.Complete(id)...)
+		}
+		readyCount = done
+		return readyCount == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphMatchesTracker(t *testing.T) {
+	// The static Graph must derive the same edges as the online Tracker.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		const n = 40
+		var accs [][]Access
+		for i := 0; i < n; i++ {
+			na := 1 + r.Intn(3)
+			var acc []Access
+			for j := 0; j < na; j++ {
+				acc = append(acc, Access{
+					Key:  fmt.Sprintf("k%d", r.Intn(6)),
+					Mode: Mode(r.Intn(3)),
+				})
+			}
+			accs = append(accs, acc)
+		}
+		tr := NewTracker()
+		g := NewGraph()
+		for i, acc := range accs {
+			tr.Register(uint64(i+1), acc)
+			g.AddTask(acc)
+		}
+		for i := 0; i < n; i++ {
+			if tr.Pending(uint64(i+1)) != len(g.Preds[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphRootsAndCriticalPath(t *testing.T) {
+	g := NewGraph()
+	g.AddTask([]Access{{"A", Out}})           // 0
+	g.AddTask([]Access{{"A", Inout}})         // 1 <- 0
+	g.AddTask([]Access{{"B", Out}})           // 2 (independent)
+	g.AddTask([]Access{{"A", In}, {"B", In}}) // 3 <- 1, 2
+	roots := g.Roots()
+	if len(roots) != 2 || roots[0] != 0 || roots[1] != 2 {
+		t.Fatalf("roots = %v", roots)
+	}
+	if cp := g.CriticalPathLen(); cp != 3 {
+		t.Fatalf("critical path = %d, want 3 (0→1→3)", cp)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if len(g.Succs[0]) != 1 || g.Succs[0][0] != 1 {
+		t.Fatalf("succs[0] = %v", g.Succs[0])
+	}
+}
+
+func BenchmarkRegisterChain(b *testing.B) {
+	tr := NewTracker()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i + 1)
+		tr.Register(id, []Access{{"X", Inout}})
+		if i > 0 {
+			tr.Complete(uint64(i))
+		}
+	}
+}
+
+func BenchmarkGraphAddTask(b *testing.B) {
+	g := NewGraph()
+	acc := []Access{{"A", In}, {"B", Inout}}
+	for i := 0; i < b.N; i++ {
+		g.AddTask(acc)
+	}
+}

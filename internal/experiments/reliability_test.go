@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"appfit/internal/bench/workload"
+)
+
+func TestReliabilityOrdering(t *testing.T) {
+	// Under heavy accelerated injection, corruption counts must order
+	// none ≥ app_fit ≥ all, with replicate_all fully clean and
+	// replicate_none substantially corrupted.
+	rows, out, err := Reliability("stream", workload.Tiny, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ReliabilityRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	none := byName["replicate_none"]
+	af := byName["app_fit"]
+	all := byName["replicate_all"]
+	if all.Corrupted != 0 {
+		t.Fatalf("replicate_all produced %d corrupted results:\n%s", all.Corrupted, out)
+	}
+	if none.Corrupted == 0 {
+		t.Fatalf("replicate_none never corrupted — injection too weak to validate anything:\n%s", out)
+	}
+	if af.Corrupted > none.Corrupted {
+		t.Fatalf("App_FIT (%d) corrupted more than unprotected (%d):\n%s",
+			af.Corrupted, none.Corrupted, out)
+	}
+	if !strings.Contains(out, "tasks replicated") {
+		t.Fatal("missing table header")
+	}
+}
+
+func TestReliabilityUnknownBench(t *testing.T) {
+	if _, _, err := Reliability("nope", workload.Tiny, 2, 1); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}

@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutcomeString(t *testing.T) {
+	if None.String() != "none" || SDC.String() != "SDC" || DUE.String() != "DUE" {
+		t.Fatal("bad Outcome strings")
+	}
+	if Outcome(42).String() == "" {
+		t.Fatal("unknown outcome must still stringify")
+	}
+}
+
+func TestNoFaults(t *testing.T) {
+	n := &NoFaults{}
+	for i := uint64(0); i < 1000; i++ {
+		if o := n.Draw(i, 0, 1.0, 1.0); o != None {
+			t.Fatalf("NoFaults injected %v", o)
+		}
+	}
+	none, sdc, due := n.Counts()
+	if none != 1000 || sdc != 0 || due != 0 {
+		t.Fatalf("counts = %d,%d,%d", none, sdc, due)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	a, b := NewSeeded(42), NewSeeded(42)
+	for i := uint64(0); i < 5000; i++ {
+		if a.Draw(i, 0, 0.3, 0.3) != b.Draw(i, 0, 0.3, 0.3) {
+			t.Fatalf("same seed diverged at task %d", i)
+		}
+	}
+}
+
+func TestSeededIndependentOfCallOrder(t *testing.T) {
+	// The outcome for a given (task, attempt) must not depend on what was
+	// drawn before it.
+	a := NewSeeded(7)
+	first := a.Draw(100, 2, 0.5, 0.2)
+	b := NewSeeded(7)
+	for i := uint64(0); i < 50; i++ {
+		b.Draw(i, 0, 0.9, 0.05)
+	}
+	if got := b.Draw(100, 2, 0.5, 0.2); got != first {
+		t.Fatalf("outcome depends on draw history: %v vs %v", got, first)
+	}
+}
+
+func TestSeededAttemptsIndependent(t *testing.T) {
+	// Different attempts of the same task get independent draws.
+	s := NewSeeded(3)
+	varies := false
+	for task := uint64(0); task < 200 && !varies; task++ {
+		o0 := s.Draw(task, 0, 0.5, 0.0)
+		o1 := s.Draw(task, 1, 0.5, 0.0)
+		if o0 != o1 {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("attempt index appears to be ignored")
+	}
+}
+
+func TestSeededRates(t *testing.T) {
+	s := NewSeeded(123)
+	const n = 100000
+	var sdc, due int
+	for i := uint64(0); i < n; i++ {
+		switch s.Draw(i, 0, 0.1, 0.2) {
+		case DUE:
+			due++
+		case SDC:
+			sdc++
+		}
+	}
+	if d := float64(due) / n; math.Abs(d-0.1) > 0.01 {
+		t.Fatalf("DUE rate %v, want ~0.1", d)
+	}
+	if c := float64(sdc) / n; math.Abs(c-0.2) > 0.01 {
+		t.Fatalf("SDC rate %v, want ~0.2", c)
+	}
+	_, csdc, cdue := s.Counts()
+	if csdc != uint64(sdc) || cdue != uint64(due) {
+		t.Fatal("counter mismatch")
+	}
+}
+
+func TestSeededBoost(t *testing.T) {
+	s := NewSeeded(9)
+	s.Boost = 1000
+	var faults int
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		if s.Draw(i, 0, 1e-4, 1e-4) != None {
+			faults++
+		}
+	}
+	// Boosted probability is 0.2 per draw.
+	if r := float64(faults) / n; math.Abs(r-0.2) > 0.02 {
+		t.Fatalf("boosted fault rate %v, want ~0.2", r)
+	}
+}
+
+func TestSeededZeroProbNeverFaults(t *testing.T) {
+	f := func(seed, task uint64) bool {
+		return NewSeeded(seed).Draw(task, 0, 0, 0) == None
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitIndexInRange(t *testing.T) {
+	s := NewSeeded(5)
+	f := func(task uint64, ln uint16) bool {
+		bitLen := int64(ln) + 1
+		b := s.BitIndex(task, 0, bitLen)
+		return b >= 0 && b < bitLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.BitIndex(1, 0, 0) != 0 {
+		t.Fatal("zero bitLen must return 0")
+	}
+}
+
+func TestBitIndexSpreads(t *testing.T) {
+	s := NewSeeded(6)
+	seen := map[int64]bool{}
+	for task := uint64(0); task < 200; task++ {
+		seen[s.BitIndex(task, 0, 64)] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("bit indexes poorly spread: only %d distinct of 64", len(seen))
+	}
+}
+
+func TestFixedRateIgnoresEstimates(t *testing.T) {
+	f := NewFixedRate(1, 0.5, 0.0)
+	const n = 20000
+	var due int
+	for i := uint64(0); i < n; i++ {
+		// Pass zero estimates; FixedRate must still inject at 0.5.
+		if f.Draw(i, 0, 0, 0) == DUE {
+			due++
+		}
+	}
+	if r := float64(due) / n; math.Abs(r-0.5) > 0.02 {
+		t.Fatalf("fixed DUE rate %v, want ~0.5", r)
+	}
+}
+
+func TestFixedRateDeterminism(t *testing.T) {
+	a := NewFixedRate(11, 0.3, 0.3)
+	b := NewFixedRate(11, 0.3, 0.3)
+	for i := uint64(0); i < 2000; i++ {
+		if a.Draw(i, 1, 0, 0) != b.Draw(i, 1, 0, 0) {
+			t.Fatalf("FixedRate diverged at %d", i)
+		}
+	}
+}
+
+func TestScript(t *testing.T) {
+	s := NewScript().
+		Set(5, 0, SDC).SetBit(5, 0, 17).
+		Set(5, 1, DUE).
+		Set(9, 2, SDC)
+	if s.Draw(5, 0, 0, 0) != SDC {
+		t.Fatal("scripted SDC not delivered")
+	}
+	if s.BitIndex(5, 0, 64) != 17 {
+		t.Fatal("scripted bit not delivered")
+	}
+	if s.Draw(5, 1, 0, 0) != DUE {
+		t.Fatal("scripted DUE not delivered")
+	}
+	if s.Draw(5, 2, 0, 0) != None {
+		t.Fatal("unscripted attempt must be None")
+	}
+	if s.Draw(6, 0, 0, 0) != None {
+		t.Fatal("unscripted task must be None")
+	}
+	// Scripted bit beyond bitLen falls back to 0.
+	if s.BitIndex(5, 0, 10) != 0 {
+		t.Fatal("out-of-range scripted bit must clamp to 0")
+	}
+	// Only drawn outcomes are counted: one SDC and one DUE were delivered.
+	_, sdc, due := s.Counts()
+	if sdc != 1 || due != 1 {
+		t.Fatalf("script counts sdc=%d due=%d", sdc, due)
+	}
+}
+
+func BenchmarkSeededDraw(b *testing.B) {
+	s := NewSeeded(1)
+	for i := 0; i < b.N; i++ {
+		s.Draw(uint64(i), 0, 1e-6, 1e-6)
+	}
+}

@@ -1,0 +1,77 @@
+package fit
+
+// Refiner adjusts a task's estimated failure rates with information beyond
+// argument sizes. §IV-A: "these rates can be obtained by any other methods
+// such as the analysis of system failure histories/logs or
+// application/task-specific vulnerability analysis. Such studies are
+// orthogonal and independent and can be seamlessly integrated to our
+// heuristic" — the heuristic "will simply make use of this refined task
+// failure rate instead of the previous rate." Refiners implement exactly
+// that seam.
+type Refiner interface {
+	// Refine maps the size-based estimate to the refined estimate. It
+	// must not increase ID or ArgBytes.
+	Refine(t Task) Task
+}
+
+// RefinerFunc adapts a function to the Refiner interface.
+type RefinerFunc func(Task) Task
+
+// Refine implements Refiner.
+func (f RefinerFunc) Refine(t Task) Task { return f(t) }
+
+// Identity returns the estimate unchanged.
+func Identity() Refiner { return RefinerFunc(func(t Task) Task { return t }) }
+
+// MaskingRefiner models the paper's worked example of a refinement: tasks
+// containing many silent stores "would mask any prior SDC at the memory
+// location of the store operation", which "will be captured by a
+// vulnerability analysis in terms of a lower failure rate". MaskFraction
+// maps a task id to the fraction of its SDC exposure masked by overwrites
+// (0 = none, 1 = fully masked); crash rates are unaffected — a masked bit
+// still crashes the node just as often.
+type MaskingRefiner struct {
+	MaskFraction func(taskID uint64) float64
+}
+
+// Refine implements Refiner.
+func (m MaskingRefiner) Refine(t Task) Task {
+	f := 0.0
+	if m.MaskFraction != nil {
+		f = m.MaskFraction(t.ID)
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	t.SDC *= 1 - f
+	return t
+}
+
+// Chain applies refiners in order.
+func Chain(rs ...Refiner) Refiner {
+	return RefinerFunc(func(t Task) Task {
+		for _, r := range rs {
+			t = r.Refine(t)
+		}
+		return t
+	})
+}
+
+// WithRefiner returns an Estimator whose Estimate passes through r.
+func (e *Estimator) WithRefiner(r Refiner) *RefinedEstimator {
+	return &RefinedEstimator{base: e, refiner: r}
+}
+
+// RefinedEstimator composes an Estimator with a Refiner.
+type RefinedEstimator struct {
+	base    *Estimator
+	refiner Refiner
+}
+
+// Estimate returns the refined rate estimate.
+func (e *RefinedEstimator) Estimate(id uint64, argBytes int64) Task {
+	return e.refiner.Refine(e.base.Estimate(id, argBytes))
+}

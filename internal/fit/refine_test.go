@@ -1,0 +1,72 @@
+package fit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityRefiner(t *testing.T) {
+	task := Task{ID: 3, ArgBytes: 100, DUE: 1, SDC: 2}
+	if Identity().Refine(task) != task {
+		t.Fatal("identity changed the estimate")
+	}
+}
+
+func TestMaskingRefinerReducesSDCOnly(t *testing.T) {
+	r := MaskingRefiner{MaskFraction: func(id uint64) float64 { return 0.5 }}
+	task := Task{ID: 1, DUE: 2, SDC: 4}
+	out := r.Refine(task)
+	if out.SDC != 2 {
+		t.Fatalf("SDC = %g, want halved", out.SDC)
+	}
+	if out.DUE != 2 {
+		t.Fatal("DUE must be unaffected by store masking")
+	}
+}
+
+func TestMaskingRefinerClamps(t *testing.T) {
+	for _, f := range []float64{-1, 2} {
+		f := f
+		r := MaskingRefiner{MaskFraction: func(uint64) float64 { return f }}
+		out := r.Refine(Task{SDC: 4})
+		if out.SDC < 0 || out.SDC > 4 {
+			t.Fatalf("mask %g gave SDC %g", f, out.SDC)
+		}
+	}
+	// Nil function means no masking.
+	if (MaskingRefiner{}).Refine(Task{SDC: 4}).SDC != 4 {
+		t.Fatal("nil mask function must be a no-op")
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	double := RefinerFunc(func(t Task) Task { t.SDC *= 2; return t })
+	add := RefinerFunc(func(t Task) Task { t.SDC += 1; return t })
+	out := Chain(double, add).Refine(Task{SDC: 3})
+	if out.SDC != 7 {
+		t.Fatalf("chain gave %g, want (3*2)+1", out.SDC)
+	}
+}
+
+func TestRefinedEstimator(t *testing.T) {
+	est := NewEstimator(Roadrunner()).WithRefiner(
+		MaskingRefiner{MaskFraction: func(uint64) float64 { return 1 }})
+	task := est.Estimate(1, 32_000_000)
+	if task.SDC != 0 {
+		t.Fatalf("fully masked SDC = %g", task.SDC)
+	}
+	if task.DUE == 0 {
+		t.Fatal("DUE lost in refinement")
+	}
+}
+
+func TestPropertyRefinementNeverNegative(t *testing.T) {
+	f := func(frac float64, bytes uint32) bool {
+		r := MaskingRefiner{MaskFraction: func(uint64) float64 { return frac }}
+		out := r.Refine(NewEstimator(Roadrunner()).Estimate(1, int64(bytes)))
+		return out.SDC >= 0 && out.DUE >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"appfit/internal/buffer"
+	"appfit/internal/core"
+	"appfit/internal/fault"
+	"appfit/internal/xrand"
+)
+
+func TestSubmitCommNeverReplicates(t *testing.T) {
+	var runs atomic.Int32
+	r := New(Config{Workers: 2, Selector: core.ReplicateAll{}})
+	b := buffer.F64{0}
+	r.SubmitComm("side-effect", func(ctx *Ctx) {
+		runs.Add(1)
+		ctx.F64(0)[0]++
+	}, Inout("A", b))
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("comm task body ran %d times, want exactly 1", runs.Load())
+	}
+	if st := r.Stats(); st.Replicated != 0 {
+		t.Fatalf("comm task was replicated: %+v", st)
+	}
+	if b[0] != 1 {
+		t.Fatalf("effect lost: %v", b[0])
+	}
+}
+
+func TestSubmitCommImmuneToInjection(t *testing.T) {
+	// Even a fixed-rate injector that ignores estimates must not corrupt
+	// a communication task.
+	inj := fault.NewFixedRate(1, 0.5, 0.5)
+	r := New(Config{Workers: 1, Injector: inj})
+	b := buffer.NewF64(8)
+	for i := 0; i < 50; i++ {
+		r.SubmitComm("c", func(ctx *Ctx) {
+			ctx.F64(0)[0]++
+		}, Inout("A", b))
+	}
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.UnprotectedSDC != 0 || st.UnprotectedDUE != 0 {
+		t.Fatalf("comm tasks received injected faults: %+v", st)
+	}
+	if b[0] != 50 {
+		t.Fatalf("comm chain corrupted: %v", b[0])
+	}
+}
+
+func TestSubmitCommOrdersWithComputeTasks(t *testing.T) {
+	// Comm tasks participate in normal dependency tracking.
+	r := New(Config{Workers: 4})
+	b := buffer.F64{0}
+	r.Submit("w", func(ctx *Ctx) { ctx.F64(0)[0] = 5 }, Out("A", b))
+	got := buffer.F64{0}
+	r.SubmitComm("read", func(ctx *Ctx) { ctx.F64(1)[0] = ctx.F64(0)[0] },
+		In("A", b), Out("G", got))
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Fatalf("comm task ran before producer: %v", got[0])
+	}
+}
+
+// TestPropertyRandomDAGFaultTransparency: for random DAGs, a fully
+// replicated run under heavy injected faults must produce exactly the same
+// final state as a fault-free serial run — the replication engine's
+// end-to-end guarantee.
+func TestPropertyRandomDAGFaultTransparency(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := xrand.New(seed)
+		const nregions = 6
+		const ntasks = 60
+		type op struct {
+			region int
+			delta  float64
+			mode   int // 0 inout, 1 write const, 2 read->noop
+		}
+		ops := make([]op, ntasks)
+		for i := range ops {
+			ops[i] = op{
+				region: rng.Intn(nregions),
+				delta:  float64(rng.Intn(9) + 1),
+				mode:   rng.Intn(2),
+			}
+		}
+		run := func(workers int, inj fault.Injector, sel core.Selector) []buffer.F64 {
+			regions := make([]buffer.F64, nregions)
+			keys := make([]string, nregions)
+			for k := range regions {
+				regions[k] = buffer.NewF64(64)
+				keys[k] = string(rune('A' + k))
+			}
+			cfg := Config{Workers: workers}
+			if inj != nil {
+				cfg.Injector = inj
+			}
+			if sel != nil {
+				cfg.Selector = sel
+			}
+			r := New(cfg)
+			for _, o := range ops {
+				o := o
+				switch o.mode {
+				case 0:
+					r.Submit("add", func(ctx *Ctx) {
+						x := ctx.F64(0)
+						for j := range x {
+							x[j] += o.delta
+						}
+					}, Inout(keys[o.region], regions[o.region]))
+				default:
+					r.Submit("set", func(ctx *Ctx) {
+						x := ctx.F64(0)
+						for j := range x {
+							x[j] = o.delta
+						}
+					}, Out(keys[o.region], regions[o.region]))
+				}
+			}
+			if err := r.Shutdown(); err != nil {
+				t.Fatal(err)
+			}
+			return regions
+		}
+		want := run(1, nil, nil)
+		got := run(4, fault.NewFixedRate(seed*77, 0.08, 0.08), core.ReplicateAll{})
+		for k := range want {
+			if !want[k].EqualTo(got[k]) {
+				t.Fatalf("seed %d region %d: faulty replicated run diverged", seed, k)
+			}
+		}
+	}
+}

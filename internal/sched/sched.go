@@ -1,0 +1,185 @@
+// Package sched provides the ready-task scheduling machinery of the runtime:
+// per-worker work-stealing deques plus a global overflow queue, with parked
+// workers woken when work arrives. This mirrors the Nanos thread-pool design
+// the paper builds on ("idle threads from a thread pool poll the internal
+// structures which store the scheduled task descriptors and execute them
+// asynchronously", §III).
+//
+// Items are opaque uint64 handles; the runtime maps them to task descriptors.
+// The deque is owner-bottom/thief-top: the owning worker pushes and pops at
+// the bottom (LIFO, good locality for freshly released successors), thieves
+// steal from the top (FIFO, takes the oldest — usually largest — subtree).
+package sched
+
+import "sync"
+
+// Deque is a double-ended work queue. PushBottom/PopBottom are intended for
+// the owner, Steal for other workers; all methods are safe for concurrent
+// use (a single mutex keeps the implementation obviously correct — the
+// runtime's contention profile is dominated by task bodies, not the deque).
+type Deque struct {
+	mu    sync.Mutex
+	items []uint64
+}
+
+// PushBottom adds an item at the owner end.
+func (d *Deque) PushBottom(v uint64) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// PopBottom removes and returns the most recently pushed item.
+func (d *Deque) PopBottom() (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return 0, false
+	}
+	v := d.items[n-1]
+	d.items = d.items[:n-1]
+	return v, true
+}
+
+// Steal removes and returns the oldest item.
+func (d *Deque) Steal() (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	v := d.items[0]
+	d.items = d.items[1:]
+	return v, true
+}
+
+// Len returns the current number of items.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// Pool coordinates W workers: each has a deque; a global FIFO holds work
+// submitted from outside any worker; idle workers spin over victims then
+// park on a condition variable. Close releases all parked workers.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	global  []uint64
+	deques  []*Deque
+	parked  int
+	closed  bool
+	pending int // items enqueued but not yet taken
+}
+
+// NewPool returns a Pool with workers deques.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{deques: make([]*Deque, workers)}
+	for i := range p.deques {
+		p.deques[i] = &Deque{}
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Workers returns the number of worker slots.
+func (p *Pool) Workers() int { return len(p.deques) }
+
+// Submit enqueues v on the global queue and wakes a parked worker.
+// worker < 0 targets the global queue; otherwise v goes to that worker's
+// deque (used when a worker releases successors of the task it just ran).
+func (p *Pool) Submit(worker int, v uint64) {
+	p.mu.Lock()
+	if worker >= 0 && worker < len(p.deques) {
+		p.pending++
+		p.mu.Unlock()
+		p.deques[worker].PushBottom(v)
+		p.mu.Lock()
+	} else {
+		p.global = append(p.global, v)
+		p.pending++
+	}
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// tryGet attempts to dequeue without blocking: own deque, then global,
+// then steal from victims in order.
+func (p *Pool) tryGet(worker int) (uint64, bool) {
+	if worker >= 0 && worker < len(p.deques) {
+		if v, ok := p.deques[worker].PopBottom(); ok {
+			p.noteTaken()
+			return v, true
+		}
+	}
+	p.mu.Lock()
+	if len(p.global) > 0 {
+		v := p.global[0]
+		p.global = p.global[1:]
+		p.pending--
+		p.mu.Unlock()
+		return v, true
+	}
+	p.mu.Unlock()
+	for i := range p.deques {
+		victim := (worker + 1 + i) % len(p.deques)
+		if victim == worker {
+			continue
+		}
+		if v, ok := p.deques[victim].Steal(); ok {
+			p.noteTaken()
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (p *Pool) noteTaken() {
+	p.mu.Lock()
+	p.pending--
+	p.mu.Unlock()
+}
+
+// Get blocks until an item is available for worker, or the pool is closed.
+// The second result is false iff the pool was closed and no work remains.
+func (p *Pool) Get(worker int) (uint64, bool) {
+	for {
+		if v, ok := p.tryGet(worker); ok {
+			return v, true
+		}
+		p.mu.Lock()
+		// Re-check under the lock: a Submit may have raced.
+		if p.pending > 0 {
+			p.mu.Unlock()
+			continue
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return 0, false
+		}
+		p.parked++
+		p.cond.Wait()
+		p.parked--
+		p.mu.Unlock()
+	}
+}
+
+// Close wakes all workers; Gets return false once the queues drain.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Pending returns the number of enqueued-but-not-taken items.
+func (p *Pool) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}

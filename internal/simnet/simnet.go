@@ -1,0 +1,92 @@
+// Package simnet models the interconnect of the simulated cluster: a
+// latency + bandwidth cost model with per-link serialization, plus
+// collective cost formulas (binomial-tree broadcast). The paper's distributed
+// experiments ran on Marenostrum III (InfiniBand FDR-10); the defaults mirror
+// that class of fabric. Absolute constants only scale the time axis — the
+// scalability *shapes* of Figure 6 depend on the compute/communication ratio,
+// which workloads control via their problem sizes.
+package simnet
+
+import (
+	"math"
+
+	"appfit/internal/simtime"
+)
+
+// Config is the interconnect cost model.
+type Config struct {
+	// LatencySec is the per-message latency in seconds.
+	LatencySec float64
+	// BandwidthBytesPerSec is the per-link bandwidth.
+	BandwidthBytesPerSec float64
+}
+
+// Marenostrum returns an InfiniBand-FDR10-class model: 1.5 µs latency,
+// 5 GB/s per link.
+func Marenostrum() Config {
+	return Config{LatencySec: 1.5e-6, BandwidthBytesPerSec: 5e9}
+}
+
+// TransferTime returns the time to move bytes across one link.
+func (c Config) TransferTime(bytes int64) simtime.Time {
+	if bytes < 0 {
+		bytes = 0
+	}
+	sec := c.LatencySec + float64(bytes)/c.BandwidthBytesPerSec
+	return simtime.FromSeconds(sec)
+}
+
+// BroadcastTime returns the cost of a binomial-tree broadcast of bytes to
+// ranks peers: ceil(log2(ranks)) rounds of point-to-point transfers.
+func (c Config) BroadcastTime(bytes int64, ranks int) simtime.Time {
+	if ranks <= 1 {
+		return 0
+	}
+	rounds := int(math.Ceil(math.Log2(float64(ranks))))
+	return simtime.Time(rounds) * c.TransferTime(bytes)
+}
+
+// Network is the event-driven message layer on top of a simtime.Engine.
+// Each directed (src, dst) link serializes its messages: a transfer starts
+// at max(now, link busy-until) and occupies the link for its duration.
+type Network struct {
+	eng  *simtime.Engine
+	cfg  Config
+	busy map[[2]int]simtime.Time
+
+	// accounting
+	messages  uint64
+	bytesSent int64
+}
+
+// New returns a Network using eng's clock.
+func New(eng *simtime.Engine, cfg Config) *Network {
+	return &Network{eng: eng, cfg: cfg, busy: make(map[[2]int]simtime.Time)}
+}
+
+// Send schedules the delivery of a message of bytes from src to dst and
+// calls onDelivery at delivery time. Sends between the same rank deliver
+// after zero transfer time (still asynchronously, preserving event order).
+func (n *Network) Send(src, dst int, bytes int64, onDelivery func()) {
+	n.messages++
+	n.bytesSent += bytes
+	if src == dst {
+		n.eng.After(0, onDelivery)
+		return
+	}
+	link := [2]int{src, dst}
+	start := n.eng.Now()
+	if b, ok := n.busy[link]; ok && b > start {
+		start = b
+	}
+	dur := n.cfg.TransferTime(bytes)
+	end := start + dur
+	n.busy[link] = end
+	n.eng.At(end, onDelivery)
+}
+
+// Messages returns the number of Send calls so far.
+func (n *Network) Messages() uint64 { return n.messages }
+
+// BytesSent returns the cumulative payload bytes.
+func (n *Network) BytesSent() int64 { return n.bytesSent }

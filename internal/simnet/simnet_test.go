@@ -1,0 +1,104 @@
+package simnet
+
+import (
+	"testing"
+
+	"appfit/internal/simtime"
+)
+
+func TestTransferTime(t *testing.T) {
+	c := Config{LatencySec: 1e-6, BandwidthBytesPerSec: 1e9}
+	// 1 KB at 1 GB/s = 1 µs + 1 µs latency = 2 µs.
+	if got := c.TransferTime(1000); got != simtime.FromSeconds(2e-6) {
+		t.Fatalf("got %d", got)
+	}
+	if c.TransferTime(-5) != c.TransferTime(0) {
+		t.Fatal("negative bytes must clamp")
+	}
+}
+
+func TestBroadcastTime(t *testing.T) {
+	c := Config{LatencySec: 1e-6, BandwidthBytesPerSec: 1e9}
+	if c.BroadcastTime(1000, 1) != 0 {
+		t.Fatal("broadcast to self must be free")
+	}
+	one := c.TransferTime(1000)
+	if c.BroadcastTime(1000, 2) != one {
+		t.Fatal("2 ranks = 1 round")
+	}
+	if c.BroadcastTime(1000, 8) != 3*one {
+		t.Fatal("8 ranks = 3 rounds")
+	}
+	if c.BroadcastTime(1000, 9) != 4*one {
+		t.Fatal("9 ranks = 4 rounds")
+	}
+}
+
+func TestMarenostrumSane(t *testing.T) {
+	m := Marenostrum()
+	if m.LatencySec <= 0 || m.BandwidthBytesPerSec < 1e9 {
+		t.Fatalf("implausible defaults %+v", m)
+	}
+}
+
+func TestSendDelivery(t *testing.T) {
+	eng := simtime.New()
+	n := New(eng, Config{LatencySec: 1e-6, BandwidthBytesPerSec: 1e9})
+	delivered := simtime.Time(-1)
+	n.Send(0, 1, 1000, func() { delivered = eng.Now() })
+	eng.Run()
+	if delivered != simtime.FromSeconds(2e-6) {
+		t.Fatalf("delivered at %d", delivered)
+	}
+	if n.Messages() != 1 || n.BytesSent() != 1000 {
+		t.Fatal("accounting wrong")
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	eng := simtime.New()
+	n := New(eng, Config{LatencySec: 0, BandwidthBytesPerSec: 1e9})
+	var d1, d2 simtime.Time
+	// Two messages on the same link must queue: 1 µs each.
+	n.Send(0, 1, 1000, func() { d1 = eng.Now() })
+	n.Send(0, 1, 1000, func() { d2 = eng.Now() })
+	eng.Run()
+	if d1 != simtime.FromSeconds(1e-6) || d2 != simtime.FromSeconds(2e-6) {
+		t.Fatalf("d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestDistinctLinksParallel(t *testing.T) {
+	eng := simtime.New()
+	n := New(eng, Config{LatencySec: 0, BandwidthBytesPerSec: 1e9})
+	var d1, d2 simtime.Time
+	n.Send(0, 1, 1000, func() { d1 = eng.Now() })
+	n.Send(0, 2, 1000, func() { d2 = eng.Now() }) // different link
+	eng.Run()
+	if d1 != d2 {
+		t.Fatalf("independent links must not serialize: %d vs %d", d1, d2)
+	}
+}
+
+func TestSelfSendImmediate(t *testing.T) {
+	eng := simtime.New()
+	n := New(eng, Marenostrum())
+	fired := false
+	n.Send(3, 3, 1_000_000, func() { fired = true })
+	eng.Run()
+	if !fired || eng.Now() != 0 {
+		t.Fatalf("self-send must deliver at now: fired=%v t=%d", fired, eng.Now())
+	}
+}
+
+func TestReverseLinkIndependent(t *testing.T) {
+	eng := simtime.New()
+	n := New(eng, Config{LatencySec: 0, BandwidthBytesPerSec: 1e9})
+	var d1, d2 simtime.Time
+	n.Send(0, 1, 1000, func() { d1 = eng.Now() })
+	n.Send(1, 0, 1000, func() { d2 = eng.Now() })
+	eng.Run()
+	if d1 != d2 {
+		t.Fatalf("full-duplex links must not serialize: %d vs %d", d1, d2)
+	}
+}

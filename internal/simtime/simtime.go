@@ -1,0 +1,119 @@
+// Package simtime is a discrete-event simulation engine with a virtual
+// clock. It is the measurement substrate for the paper's parallel-time
+// results (Figures 4-6): those are statements about makespans on 16-1024
+// cores, which cannot be observed as wall-clock time on this host; the
+// cluster simulator (internal/cluster) schedules task DAGs over simulated
+// cores and advances this clock instead.
+//
+// Events fire in timestamp order; ties break by insertion order, making
+// every simulation fully deterministic.
+package simtime
+
+import "container/heap"
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// FromSeconds converts seconds to Time.
+func FromSeconds(s float64) Time { return Time(s * 1e9) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with New.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+	fired uint64
+}
+
+// New returns an Engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled-but-unfired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// that is always a simulator bug.
+func (e *Engine) At(at Time, fn func()) {
+	if at < e.now {
+		panic("simtime: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay after the current time.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic("simtime: negative delay")
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Step fires the earliest pending event. It returns false if none remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps ≤ deadline; the clock ends at
+// min(deadline, last event time ≥ current). It returns the number fired.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	var n uint64
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}

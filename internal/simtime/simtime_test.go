@@ -1,0 +1,177 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+
+	"appfit/internal/xrand"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != Time(1_500_000_000) {
+		t.Fatal("FromSeconds wrong")
+	}
+	if Time(2_000_000_000).Seconds() != 2.0 {
+		t.Fatal("Seconds wrong")
+	}
+}
+
+func TestEventsFireInOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end=%d", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("fired %d", e.Fired())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	e := New()
+	var sawNow Time
+	e.After(100, func() {
+		sawNow = e.Now()
+		e.After(50, func() { sawNow = e.Now() })
+	})
+	e.Run()
+	if sawNow != 150 {
+		t.Fatalf("nested After landed at %d", sawNow)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("past scheduling must panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay must panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestStepAndPending(t *testing.T) {
+	e := New()
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	if !e.Step() || e.Now() != 1 || e.Pending() != 1 {
+		t.Fatal("step 1 wrong")
+	}
+	if !e.Step() || e.Now() != 2 {
+		t.Fatal("step 2 wrong")
+	}
+	if e.Step() {
+		t.Fatal("empty queue must return false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	for _, at := range []Time{10, 20, 30, 40} {
+		e.At(at, func() { fired++ })
+	}
+	n := e.RunUntil(25)
+	if n != 2 || fired != 2 {
+		t.Fatalf("n=%d fired=%d", n, fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock %d, want advanced to deadline 25", e.Now())
+	}
+	e.Run()
+	if fired != 4 {
+		t.Fatalf("remaining events lost: %d", fired)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain built during execution must run to completion.
+	e := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			e.After(1, chain)
+		}
+	}
+	e.At(0, chain)
+	end := e.Run()
+	if count != 100 || end != 99 {
+		t.Fatalf("count=%d end=%d", count, end)
+	}
+}
+
+func TestPropertyMonotoneClock(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		e := New()
+		last := Time(-1)
+		ok := true
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if depth < 3 {
+				for i := 0; i < 3; i++ {
+					e.After(Time(r.Intn(100)), func() { schedule(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 5; i++ {
+			e.At(Time(r.Intn(50)), func() { schedule(0) })
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		e.Step()
+	}
+}

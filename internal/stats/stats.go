@@ -1,0 +1,144 @@
+// Package stats provides the small statistical and table-formatting helpers
+// the experiment harness uses: means and confidence intervals over repeated
+// runs (the paper runs each experiment 10× and reports averages, §V) and
+// fixed-width text tables for the figure/table outputs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval of
+// the mean (normal approximation, 1.96·σ/√n).
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// MinMax returns the extrema of xs; zeroes for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// GeoMean returns the geometric mean of positive xs (0 if any are ≤ 0).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table accumulates rows and renders an aligned fixed-width text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells render with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i]+2, c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteCSV writes all records as CSV with a header row: one line per task
+// with its identity, placement, replication decision, FIT estimates, timing
+// and event list. The experiment harness uses it to export raw per-task
+// data behind the figures.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"task_id,label,worker,replicated,arg_bytes,fit_due,fit_sdc,duration_ns,replica_ns,reexec_ns,attempts,events"); err != nil {
+		return err
+	}
+	for _, r := range t.Records() {
+		events := ""
+		for i, e := range r.Events {
+			if i > 0 {
+				events += ";"
+			}
+			events += e.String()
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%v,%d,%g,%g,%d,%d,%d,%d,%s\n",
+			r.TaskID, r.Label, r.Worker, r.Replicated, r.ArgBytes,
+			r.FITDue, r.FITSdc,
+			r.Duration.Nanoseconds(), r.ReplicaDur.Nanoseconds(),
+			r.ReexecDur.Nanoseconds(), r.Attempts, events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LabelStat aggregates records sharing a task label (kernel kind).
+type LabelStat struct {
+	Label      string
+	Count      int
+	Replicated int
+	TotalTime  time.Duration
+	TotalFIT   float64
+}
+
+// ByLabel aggregates the trace per task label, sorted by descending total
+// FIT — the view that shows which kernel kinds carry the reliability cost.
+func (t *Tracer) ByLabel() []LabelStat {
+	m := map[string]*LabelStat{}
+	for _, r := range t.Records() {
+		s := m[r.Label]
+		if s == nil {
+			s = &LabelStat{Label: r.Label}
+			m[r.Label] = s
+		}
+		s.Count++
+		if r.Replicated {
+			s.Replicated++
+		}
+		s.TotalTime += r.Duration
+		s.TotalFIT += r.FITDue + r.FITSdc
+	}
+	out := make([]LabelStat, 0, len(m))
+	for _, s := range m {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalFIT != out[j].TotalFIT {
+			return out[i].TotalFIT > out[j].TotalFIT
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tr := New()
+	tr.Add(Record{
+		TaskID: 2, Label: "gemm", Worker: 1, Replicated: true,
+		ArgBytes: 1024, FITDue: 0.5, FITSdc: 0.25,
+		Duration: 100, ReplicaDur: 90, Attempts: 2,
+		Events: []Event{Checkpointed, Compared},
+	})
+	tr.Add(Record{TaskID: 1, Label: "potrf", Duration: 10, Attempts: 1})
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "task_id,") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	// Sorted by id: potrf first.
+	if !strings.HasPrefix(lines[1], "1,potrf") {
+		t.Fatalf("row order: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "checkpointed;compared") {
+		t.Fatalf("events column: %s", lines[2])
+	}
+}
+
+func TestByLabel(t *testing.T) {
+	tr := New()
+	for i := 0; i < 4; i++ {
+		tr.Add(Record{TaskID: uint64(i + 1), Label: "gemm", Replicated: i%2 == 0,
+			Duration: 100 * time.Nanosecond, FITDue: 1})
+	}
+	tr.Add(Record{TaskID: 9, Label: "potrf", Duration: 50 * time.Nanosecond, FITDue: 10})
+	stats := tr.ByLabel()
+	if len(stats) != 2 {
+		t.Fatalf("labels: %d", len(stats))
+	}
+	// potrf carries more FIT, so it sorts first.
+	if stats[0].Label != "potrf" || stats[0].TotalFIT != 10 {
+		t.Fatalf("order/agg wrong: %+v", stats)
+	}
+	if stats[1].Count != 4 || stats[1].Replicated != 2 || stats[1].TotalTime != 400*time.Nanosecond {
+		t.Fatalf("gemm agg: %+v", stats[1])
+	}
+}

@@ -1,0 +1,220 @@
+// Package trace records per-task execution events: which worker ran a task,
+// how long it took, whether it was replicated, and what faults were injected
+// and recovered. The experiment harness aggregates these records into the
+// paper's figures (replicated-time fractions for Figure 3, recovery event
+// timelines for the Figure 2 walk-through).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is something that happened during one task's lifetime.
+type Event int
+
+const (
+	// Checkpointed: the task's inputs were saved (Figure 2 step 1).
+	Checkpointed Event = iota
+	// ReplicaCreated: a duplicate descriptor was scheduled (step 2).
+	ReplicaCreated
+	// Compared: primary and replica outputs were compared (step 3).
+	Compared
+	// SDCDetected: the comparison found a mismatch.
+	SDCDetected
+	// Restored: inputs restored from checkpoint (step 4).
+	Restored
+	// Reexecuted: the third execution ran.
+	Reexecuted
+	// Voted: majority vote selected the result (step 5).
+	Voted
+	// DUERecovered: a crash was absorbed by the replica or a re-execution.
+	DUERecovered
+	// UnprotectedSDC: an SDC hit an unreplicated task (accepted risk).
+	UnprotectedSDC
+	// UnprotectedDUE: a crash hit an unreplicated task (accepted risk).
+	UnprotectedDUE
+	// VoteFailed: all three results disagreed.
+	VoteFailed
+)
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	names := [...]string{
+		"checkpointed", "replica_created", "compared", "sdc_detected",
+		"restored", "reexecuted", "voted", "due_recovered",
+		"unprotected_sdc", "unprotected_due", "vote_failed",
+	}
+	if int(e) < len(names) {
+		return names[e]
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// Record is the trace of one task instance.
+type Record struct {
+	TaskID     uint64
+	Label      string
+	Worker     int
+	Replicated bool
+	ArgBytes   int64
+	FITDue     float64
+	FITSdc     float64
+	Start      time.Time
+	// Duration is the primary execution's duration; ReplicaDuration and
+	// ReexecDuration are zero when those executions did not happen.
+	Duration   time.Duration
+	ReplicaDur time.Duration
+	ReexecDur  time.Duration
+	Events     []Event
+	Attempts   int
+}
+
+// TotalComputeTime returns the task's total compute demand including
+// redundant executions; the extra over Duration is the replication cost the
+// paper's "percentage of computation time replicated" measures.
+func (r *Record) TotalComputeTime() time.Duration {
+	return r.Duration + r.ReplicaDur + r.ReexecDur
+}
+
+// Has reports whether the record contains event e.
+func (r *Record) Has(e Event) bool {
+	for _, x := range r.Events {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Tracer collects Records. A nil *Tracer is valid and records nothing, so
+// the runtime can be run untraced with zero overhead checks.
+type Tracer struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// New returns an empty Tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Add appends a completed task record.
+func (t *Tracer) Add(r Record) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recs = append(t.recs, r)
+	t.mu.Unlock()
+}
+
+// Records returns a copy of all records, ordered by task id.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Record, len(t.recs))
+	copy(out, t.recs)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].TaskID < out[j].TaskID })
+	return out
+}
+
+// Len returns the number of records.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+// Summary aggregates a trace into the quantities the paper reports.
+type Summary struct {
+	Tasks      int
+	Replicated int
+	// TaskTime is the sum of primary execution durations; ReplicatedTime
+	// is the sum of primary durations of replicated tasks (the numerator
+	// of Figure 3's "percentage of computation time replicated").
+	TaskTime        time.Duration
+	ReplicatedTime  time.Duration
+	RedundantTime   time.Duration // replica + re-execution time actually spent
+	SDCDetected     int
+	SDCRecovered    int
+	DUERecovered    int
+	UnprotectedSDC  int
+	UnprotectedDUE  int
+	VoteFailures    int
+	CheckpointTasks int
+}
+
+// PctTasksReplicated returns 100 × replicated/total.
+func (s Summary) PctTasksReplicated() float64 {
+	if s.Tasks == 0 {
+		return 0
+	}
+	return 100 * float64(s.Replicated) / float64(s.Tasks)
+}
+
+// PctTimeReplicated returns 100 × replicated-task time / total task time.
+func (s Summary) PctTimeReplicated() float64 {
+	if s.TaskTime == 0 {
+		return 0
+	}
+	return 100 * float64(s.ReplicatedTime) / float64(s.TaskTime)
+}
+
+// Summarize aggregates the trace.
+func (t *Tracer) Summarize() Summary {
+	var s Summary
+	for _, r := range t.Records() {
+		s.Tasks++
+		s.TaskTime += r.Duration
+		s.RedundantTime += r.ReplicaDur + r.ReexecDur
+		if r.Replicated {
+			s.Replicated++
+			s.ReplicatedTime += r.Duration
+		}
+		if r.Has(Checkpointed) {
+			s.CheckpointTasks++
+		}
+		if r.Has(SDCDetected) {
+			s.SDCDetected++
+			if r.Has(Voted) {
+				s.SDCRecovered++
+			}
+		}
+		if r.Has(DUERecovered) {
+			s.DUERecovered++
+		}
+		if r.Has(UnprotectedSDC) {
+			s.UnprotectedSDC++
+		}
+		if r.Has(UnprotectedDUE) {
+			s.UnprotectedDUE++
+		}
+		if r.Has(VoteFailed) {
+			s.VoteFailures++
+		}
+	}
+	return s
+}
+
+// WriteTimeline writes a human-readable event log of the records that had
+// any fault activity, for the Figure 2 walk-through.
+func (t *Tracer) WriteTimeline(w io.Writer) {
+	for _, r := range t.Records() {
+		if len(r.Events) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "task %d (%s, worker %d, replicated=%v):", r.TaskID, r.Label, r.Worker, r.Replicated)
+		for _, e := range r.Events {
+			fmt.Fprintf(w, " %s", e)
+		}
+		fmt.Fprintln(w)
+	}
+}

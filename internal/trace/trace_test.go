@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Add(Record{TaskID: 1})
+	if tr.Len() != 0 || tr.Records() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+}
+
+func TestRecordsSortedByID(t *testing.T) {
+	tr := New()
+	tr.Add(Record{TaskID: 3})
+	tr.Add(Record{TaskID: 1})
+	tr.Add(Record{TaskID: 2})
+	recs := tr.Records()
+	if len(recs) != 3 || recs[0].TaskID != 1 || recs[2].TaskID != 3 {
+		t.Fatalf("records %v", recs)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len %d", tr.Len())
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			tr.Add(Record{TaskID: id})
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if tr.Len() != 100 {
+		t.Fatalf("len %d", tr.Len())
+	}
+}
+
+func TestHasAndTotalCompute(t *testing.T) {
+	r := Record{
+		Duration:   10 * time.Millisecond,
+		ReplicaDur: 9 * time.Millisecond,
+		ReexecDur:  5 * time.Millisecond,
+		Events:     []Event{Checkpointed, SDCDetected},
+	}
+	if !r.Has(Checkpointed) || !r.Has(SDCDetected) || r.Has(Voted) {
+		t.Fatal("Has wrong")
+	}
+	if r.TotalComputeTime() != 24*time.Millisecond {
+		t.Fatalf("total %v", r.TotalComputeTime())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := New()
+	tr.Add(Record{TaskID: 1, Replicated: true, Duration: 10,
+		Events: []Event{Checkpointed, Compared}})
+	tr.Add(Record{TaskID: 2, Replicated: true, Duration: 30, ReplicaDur: 28,
+		Events: []Event{Checkpointed, Compared, SDCDetected, Restored, Reexecuted, Voted}})
+	tr.Add(Record{TaskID: 3, Duration: 60, Events: []Event{UnprotectedSDC}})
+	tr.Add(Record{TaskID: 4, Duration: 100, Events: []Event{UnprotectedDUE}})
+	tr.Add(Record{TaskID: 5, Replicated: true, Duration: 10, Events: []Event{Checkpointed, DUERecovered}})
+	tr.Add(Record{TaskID: 6, Duration: 40, Events: []Event{VoteFailed}})
+
+	s := tr.Summarize()
+	if s.Tasks != 6 || s.Replicated != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.TaskTime != 250 || s.ReplicatedTime != 50 {
+		t.Fatalf("times %+v", s)
+	}
+	if s.RedundantTime != 28 {
+		t.Fatalf("redundant %v", s.RedundantTime)
+	}
+	if s.SDCDetected != 1 || s.SDCRecovered != 1 {
+		t.Fatalf("sdc %+v", s)
+	}
+	if s.DUERecovered != 1 || s.UnprotectedSDC != 1 || s.UnprotectedDUE != 1 || s.VoteFailures != 1 {
+		t.Fatalf("events %+v", s)
+	}
+	if s.CheckpointTasks != 3 {
+		t.Fatalf("checkpoints %d", s.CheckpointTasks)
+	}
+	if s.PctTasksReplicated() != 50 {
+		t.Fatalf("pct tasks %v", s.PctTasksReplicated())
+	}
+	if s.PctTimeReplicated() != 20 {
+		t.Fatalf("pct time %v", s.PctTimeReplicated())
+	}
+}
+
+func TestSummaryZeroDivision(t *testing.T) {
+	var s Summary
+	if s.PctTasksReplicated() != 0 || s.PctTimeReplicated() != 0 {
+		t.Fatal("empty summary must yield 0%")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	events := []Event{Checkpointed, ReplicaCreated, Compared, SDCDetected,
+		Restored, Reexecuted, Voted, DUERecovered, UnprotectedSDC,
+		UnprotectedDUE, VoteFailed}
+	seen := map[string]bool{}
+	for _, e := range events {
+		s := e.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad/duplicate event string %q", s)
+		}
+		seen[s] = true
+	}
+	if Event(99).String() == "" {
+		t.Fatal("unknown event must stringify")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	tr := New()
+	tr.Add(Record{TaskID: 1, Label: "quiet"})
+	tr.Add(Record{TaskID: 2, Label: "noisy", Replicated: true,
+		Events: []Event{Checkpointed, SDCDetected, Voted}})
+	var sb strings.Builder
+	tr.WriteTimeline(&sb)
+	out := sb.String()
+	if strings.Contains(out, "quiet") {
+		t.Fatal("event-free records must be omitted")
+	}
+	if !strings.Contains(out, "noisy") || !strings.Contains(out, "sdc_detected") {
+		t.Fatalf("timeline missing content:\n%s", out)
+	}
+}

