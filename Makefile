@@ -1,0 +1,33 @@
+# Repo checks. `make check` is the tier-1 gate plus vet and example builds.
+
+GO ?= go
+
+.PHONY: check vet build test race bench build-examples run-examples
+
+check: vet race build-examples
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Compile every example and command entry point; catches facade drift that
+# package tests cannot see.
+build-examples:
+	$(GO) build -o /dev/null ./examples/... ./cmd/...
+
+# Run the fast examples end to end (the demos print their own evidence).
+run-examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hybrid_pingpong
+	$(GO) run ./examples/distributed_nbody

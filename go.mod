@@ -1,0 +1,3 @@
+module appfit
+
+go 1.24

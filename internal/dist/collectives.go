@@ -1,0 +1,148 @@
+// Dependency-gated collectives. Each collective is decomposed into the same
+// comm-task primitive Send/Recv use, submitted into every participating
+// rank's dataflow graph, so a collective overlaps with unrelated computation
+// and orders itself against related computation purely through region
+// accesses — there is no world-wide synchronous call.
+//
+// Two ordering mechanisms are at work:
+//
+//   - data-carrying collectives (Broadcast, AllreduceSum) chain through the
+//     user's region itself: a tree rank's forwarding sends read the region
+//     its receive wrote, so the dataflow tracker orders them;
+//   - Barrier has no payload, so its rounds serialize through an Inout
+//     access on a reserved per-rank token region (collKey) instead; the
+//     same token orders back-to-back collectives on one rank.
+//
+// Tags: a collective's plumbing lives in its own Match class with a
+// class-private subchannel (the barrier round, the tree root), so user tags
+// can never collide with it and same-tag collectives rooted differently
+// never share a mailbox. Two same-tag same-root collectives outstanding at
+// once stay FIFO-consistent because the token serializes each rank's
+// plumbing in submission order.
+package dist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"appfit/internal/buffer"
+	"appfit/internal/rt"
+)
+
+// collKey is the reserved region prefix for collective plumbing; user
+// region names must not start with it.
+const collKey = "\x00dist"
+
+func (r *Rank) tokArg() rt.Arg { return rt.Inout(collKey+":tok", r.tok) }
+
+// barrierRounds is the number of dissemination rounds for n ranks.
+func barrierRounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Barrier submits rank r's side of a dissemination barrier: ceil(log2 n)
+// rounds where round k sends an empty frame to (r+2^k) mod n and waits for
+// one from (r-2^k) mod n. Every rank must call Barrier once with the same
+// tag. The optional args gate the barrier in r's dataflow graph: tasks the
+// args depend on run before the barrier, tasks depending on them run after
+// it. With no args the barrier only orders against other collectives on the
+// rank (via the token region), not against compute.
+func (r *Rank) Barrier(tag int, args ...rt.Arg) {
+	n := len(r.w.ranks)
+	if n == 1 {
+		return
+	}
+	gate := make([]rt.Arg, 0, len(args)+1)
+	gate = append(gate, args...)
+	gate = append(gate, r.tokArg())
+	for k := 0; k < barrierRounds(n); k++ {
+		step := 1 << k
+		to := (r.id + step) % n
+		from := ((r.id-step)%n + n) % n
+		r.commSend(fmt.Sprintf("barrier:%d/%d", tag, k),
+			Match{Src: r.id, Dst: to, Class: ClassBarrier, Tag: tag, Sub: k}, -1, gate...)
+		r.commRecv(fmt.Sprintf("barrier:%d/%d", tag, k),
+			Match{Src: from, Dst: r.id, Class: ClassBarrier, Tag: tag, Sub: k}, -1, gate...)
+	}
+}
+
+// Barrier submits a barrier over all ranks, gated only on each rank's
+// collective token (see Rank.Barrier for data-gated barriers).
+func (w *World) Barrier(tag int) {
+	for _, r := range w.ranks {
+		r.Barrier(tag)
+	}
+}
+
+// Broadcast replicates root's buffer into every rank's buffer for region
+// name through a binomial tree of dependency-gated transfers: relative rank
+// j receives from j − 2^⌊log2 j⌋ and forwards to every j + 2^k with
+// 2^k > j. bufs[i] is rank i's buffer; all must match root's type and
+// length. Intermediate ranks forward only after their receive wrote the
+// region, so the whole tree is ordered by the dataflow tracker alone.
+func (w *World) Broadcast(root, tag int, name string, bufs []buffer.Buffer) {
+	n := len(w.ranks)
+	if n == 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		rel := ((i-root)%n + n) % n
+		r := w.ranks[i]
+		if rel != 0 {
+			parentRel := rel - 1<<(bits.Len(uint(rel))-1)
+			parent := (parentRel + root) % n
+			r.commRecv(fmt.Sprintf("bcast:%s<%d", name, parent),
+				Match{Src: parent, Dst: i, Class: ClassBcast, Tag: tag, Sub: root},
+				0, rt.Out(name, bufs[i]), r.tokArg())
+		}
+		for k := bits.Len(uint(rel)); rel+1<<k < n; k++ {
+			child := (rel + 1<<k + root) % n
+			r.commSend(fmt.Sprintf("bcast:%s>%d", name, child),
+				Match{Src: i, Dst: child, Class: ClassBcast, Tag: tag, Sub: root},
+				0, rt.In(name, bufs[i]), r.tokArg())
+		}
+	}
+}
+
+// AllreduceSum leaves the element-wise sum of every rank's float64 buffer
+// for region name in all of them: ranks 1..n−1 send their buffers to rank 0,
+// which reduces into its own buffer with an ordinary compute task — the
+// reduction is deterministic in its arguments, so the rank's selector may
+// replicate and the injector may corrupt it like any computation — and the
+// result is broadcast back down the binomial tree.
+func (w *World) AllreduceSum(tag int, name string, bufs []buffer.F64) {
+	n := len(w.ranks)
+	if n == 1 {
+		return
+	}
+	root := w.ranks[0]
+	redArgs := []rt.Arg{rt.Inout(name, bufs[0])}
+	for i := 1; i < n; i++ {
+		w.ranks[i].commSend(fmt.Sprintf("reduce:%s>0", name),
+			Match{Src: i, Dst: 0, Class: ClassReduce, Tag: tag},
+			0, rt.In(name, bufs[i]), w.ranks[i].tokArg())
+		tmp := buffer.NewF64(len(bufs[0]))
+		tmpKey := fmt.Sprintf("%s:ar:%d:%d", collKey, tag, i)
+		root.commRecv(fmt.Sprintf("reduce:%s<%d", name, i),
+			Match{Src: i, Dst: 0, Class: ClassReduce, Tag: tag},
+			0, rt.Out(tmpKey, tmp), root.tokArg())
+		redArgs = append(redArgs, rt.In(tmpKey, tmp))
+	}
+	root.rt.Submit("allreduce:sum", func(ctx *rt.Ctx) {
+		dst := ctx.F64(0)
+		for a := 1; a < ctx.NArgs(); a++ {
+			src := ctx.F64(a)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}, redArgs...)
+	bb := make([]buffer.Buffer, n)
+	for i, b := range bufs {
+		bb[i] = b
+	}
+	w.Broadcast(0, tag, name, bb)
+}

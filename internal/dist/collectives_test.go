@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"appfit/internal/buffer"
+	"appfit/internal/core"
+	"appfit/internal/fault"
+	"appfit/internal/rt"
+)
+
+func TestBarrierOrdersAllRanks(t *testing.T) {
+	// Every rank raises a flag before the barrier (with the slower ranks
+	// artificially delayed) and counts raised flags after it; with a correct
+	// barrier every rank counts all of them.
+	const ranks = 5
+	w := NewWorld(Config{Ranks: ranks, RT: func(int) rt.Config { return rt.Config{Workers: 2} }})
+	var flags [ranks]atomic.Bool
+	var seen [ranks]atomic.Int32
+	tok := make([]buffer.F64, ranks)
+	for rk := 0; rk < ranks; rk++ {
+		tok[rk] = buffer.NewF64(1)
+		rk := rk
+		w.Rank(rk).Runtime().Submit("arrive", func(ctx *rt.Ctx) {
+			time.Sleep(time.Duration(rk) * 2 * time.Millisecond)
+			flags[rk].Store(true)
+		}, rt.Inout("x", tok[rk]))
+		w.Rank(rk).Barrier(1, rt.Inout("x", tok[rk]))
+		w.Rank(rk).Runtime().Submit("check", func(ctx *rt.Ctx) {
+			n := int32(0)
+			for i := range flags {
+				if flags[i].Load() {
+					n++
+				}
+			}
+			seen[rk].Store(n)
+		}, rt.Inout("x", tok[rk]))
+	}
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for rk := 0; rk < ranks; rk++ {
+		if got := seen[rk].Load(); got != ranks {
+			t.Fatalf("rank %d passed the barrier seeing %d/%d arrivals", rk, got, ranks)
+		}
+	}
+	// Dissemination traffic: ranks × ceil(log2 ranks) empty frames.
+	if got, want := w.MessagesSent(), uint64(ranks*barrierRounds(ranks)); got != want {
+		t.Fatalf("barrier sent %d messages, want %d", got, want)
+	}
+}
+
+func TestWorldBarrierConsecutive(t *testing.T) {
+	// Back-to-back world barriers must not cross-match their rounds.
+	const ranks = 4
+	w := NewWorld(Config{Ranks: ranks})
+	for tag := 0; tag < 3; tag++ {
+		w.Barrier(tag)
+	}
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.MessagesSent(), uint64(3*ranks*barrierRounds(ranks)); got != want {
+		t.Fatalf("sent %d messages, want %d", got, want)
+	}
+}
+
+func TestBroadcastFromEveryRoot(t *testing.T) {
+	const ranks = 5 // non-power-of-two exercises the ragged tree
+	for root := 0; root < ranks; root++ {
+		w := NewWorld(Config{Ranks: ranks})
+		bufs := make([]buffer.Buffer, ranks)
+		for i := range bufs {
+			bufs[i] = buffer.NewF64(4)
+		}
+		// The root's value is produced by a task the broadcast must wait for.
+		w.Rank(root).Runtime().Submit("produce", func(ctx *rt.Ctx) {
+			x := ctx.F64(0)
+			for i := range x {
+				x[i] = float64(100*root + i)
+			}
+		}, rt.Out("b", bufs[root]))
+		w.Broadcast(root, 0, "b", bufs)
+		if err := w.Shutdown(); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		for i := range bufs {
+			got := bufs[i].(buffer.F64)
+			for j := range got {
+				if got[j] != float64(100*root+j) {
+					t.Fatalf("root %d: rank %d got %v", root, i, got)
+				}
+			}
+		}
+		// A binomial tree moves exactly ranks-1 messages.
+		if got := w.MessagesSent(); got != ranks-1 {
+			t.Fatalf("root %d: broadcast sent %d messages, want %d", root, got, ranks-1)
+		}
+	}
+}
+
+func TestConcurrentSameTagBroadcasts(t *testing.T) {
+	// Two same-tag broadcasts rooted at different ranks run concurrently on
+	// independent regions; their trees share directed links (e.g. 0→2
+	// appears in both), so without the root subchannel in the mailbox key
+	// the payloads could cross-match.
+	const ranks = 4
+	w := NewWorld(Config{Ranks: ranks, RT: func(int) rt.Config { return rt.Config{Workers: 2} }})
+	a := make([]buffer.Buffer, ranks)
+	b := make([]buffer.Buffer, ranks)
+	for i := 0; i < ranks; i++ {
+		a[i] = buffer.NewF64(2)
+		b[i] = buffer.NewF64(2)
+	}
+	a[0].(buffer.F64)[0] = 111
+	b[3].(buffer.F64)[0] = 333
+	w.Broadcast(0, 7, "a", a)
+	w.Broadcast(3, 7, "b", b)
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ranks; i++ {
+		if a[i].(buffer.F64)[0] != 111 || b[i].(buffer.F64)[0] != 333 {
+			t.Fatalf("rank %d: a=%v b=%v (broadcast payloads crossed)", i,
+				a[i].(buffer.F64)[0], b[i].(buffer.F64)[0])
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const ranks = 3
+	w := NewWorld(Config{Ranks: ranks})
+	bufs := make([]buffer.F64, ranks)
+	for i := range bufs {
+		bufs[i] = buffer.F64{float64(i + 1), 10 * float64(i+1)}
+	}
+	w.AllreduceSum(0, "s", bufs)
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufs {
+		if bufs[i][0] != 6 || bufs[i][1] != 60 {
+			t.Fatalf("rank %d = %v, want [6 60]", i, bufs[i])
+		}
+	}
+	// Gather (ranks-1) plus broadcast (ranks-1).
+	if got, want := w.MessagesSent(), uint64(2*(ranks-1)); got != want {
+		t.Fatalf("allreduce sent %d messages, want %d", got, want)
+	}
+}
+
+func TestAllreduceSumUnderReplication(t *testing.T) {
+	// The reduction is a compute task: under complete replication with
+	// injected faults it must still produce the exact sum, and the plumbing
+	// must still move exactly 2(n-1) messages.
+	const ranks = 4
+	w := NewWorld(Config{Ranks: ranks, RT: func(rank int) rt.Config {
+		return rt.Config{
+			Workers:  2,
+			Selector: core.ReplicateAll{},
+			Injector: fault.NewFixedRate(uint64(rank)+5, 0.1, 0.1),
+		}
+	}})
+	bufs := make([]buffer.F64, ranks)
+	for i := range bufs {
+		bufs[i] = buffer.F64{1}
+	}
+	w.AllreduceSum(0, "s", bufs)
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufs {
+		if bufs[i][0] != ranks {
+			t.Fatalf("rank %d = %v, want %d", i, bufs[i][0], ranks)
+		}
+	}
+	if got, want := w.MessagesSent(), uint64(2*(ranks-1)); got != want {
+		t.Fatalf("allreduce sent %d messages, want %d", got, want)
+	}
+}

@@ -1,0 +1,298 @@
+// Package dist is the distributed substrate: the Go equivalent of the
+// paper's hybrid OmpSs+MPI execution model (§III). A World holds a set of
+// in-process ranks, each owning its own dataflow runtime (internal/rt) with
+// its own selector, injector and worker pool — exactly one runtime instance
+// per MPI process in the paper's setup. Ranks exchange data blocks through
+// communication tasks: Send and Recv are submitted into the rank's dataflow
+// graph like any task (they declare accesses on named regions and are gated
+// by the dependencies those accesses induce), but they are registered via
+// rt.SubmitComm, so the replication engine never duplicates them — a replica
+// of a send would put a second message on the wire — and the fault injector
+// never corrupts them, because the paper delegates communication failures to
+// complementary message-logging protocols (§VI).
+//
+// Message matching is MPI-flavored: a Recv matches the oldest pending Send
+// with the same (source, destination, tag) triple; payloads are snapshots
+// taken when the send task fires, so the sender may immediately reuse its
+// buffer. The matching and movement of payloads is delegated to a pluggable
+// Transport (see transport.go): Direct for pure in-process exchange, Sim to
+// charge every message latency and bandwidth on a modeled interconnect.
+//
+// On top of point-to-point, the package provides dependency-gated
+// collectives — Barrier (dissemination), Broadcast (binomial tree) and
+// AllreduceSum (gather + local reduction + broadcast) — built from the same
+// comm-task primitive, so they overlap with computation under exactly the
+// dataflow rules the paper's hybrid applications rely on.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"appfit/internal/buffer"
+	"appfit/internal/rt"
+)
+
+// Config configures a World.
+type Config struct {
+	// Ranks is the number of in-process ranks (default 1).
+	Ranks int
+	// RT returns rank i's runtime configuration. Nil means every rank runs
+	// with rt defaults (1 worker, no replication, no faults).
+	RT func(rank int) rt.Config
+	// Transport moves messages between ranks (default: NewDirect()).
+	Transport Transport
+}
+
+// World is a set of communicating ranks. Create with NewWorld, address ranks
+// with Rank, and finish with Shutdown, which drains every rank's dataflow
+// graph and aggregates their errors.
+type World struct {
+	tr    Transport
+	ranks []*Rank
+
+	sent atomic.Uint64
+
+	errMu sync.Mutex
+	errs  []error
+
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// Rank is one member of a World: a rank id plus its private runtime.
+type Rank struct {
+	w  *World
+	id int
+	rt *rt.Runtime
+	// tok serializes collective plumbing tasks on this rank through an
+	// Inout access on a reserved region (see collKey).
+	tok buffer.U8
+	// parked counts this rank's receive tasks currently waiting in the
+	// transport; the shutdown watchdog compares it against the runtime's
+	// executing count to detect receives that can never match.
+	parked atomic.Int32
+}
+
+// NewWorld starts cfg.Ranks runtimes and wires them to the transport.
+func NewWorld(cfg Config) *World {
+	n := cfg.Ranks
+	if n < 1 {
+		n = 1
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = NewDirect()
+	}
+	w := &World{tr: tr, ranks: make([]*Rank, n)}
+	for i := range w.ranks {
+		var rc rt.Config
+		if cfg.RT != nil {
+			rc = cfg.RT(i)
+		}
+		w.ranks[i] = &Rank{w: w, id: i, rt: rt.New(rc), tok: buffer.U8{0}}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Transport returns the world's transport (e.g. to read *Sim accounting).
+func (w *World) Transport() Transport { return w.tr }
+
+// MessagesSent returns the number of messages sent so far across all ranks:
+// each executed send task counts exactly once, however the task's rank
+// replicates its compute — comm tasks are never replicated.
+func (w *World) MessagesSent() uint64 { return w.sent.Load() }
+
+// Stats aggregates the runtime counters of all ranks (see rt.Stats.Add for
+// the aggregation semantics).
+func (w *World) Stats() rt.Stats {
+	var total rt.Stats
+	for _, r := range w.ranks {
+		total.Add(r.rt.Stats())
+	}
+	return total
+}
+
+// Shutdown drains and stops every rank's runtime (concurrently, so pending
+// cross-rank messages can still flow while ranks quiesce), closes the
+// transport, and returns the joined errors of all ranks plus any
+// communication errors (type/length mismatches on receive, closed-transport
+// receives), each annotated with its rank. A receive that can never match —
+// the world deadlocked on dangling communication — is detected by a
+// watchdog and reported as an ErrClosed-wrapped error instead of hanging.
+// Shutdown is idempotent.
+func (w *World) Shutdown() error {
+	w.shutOnce.Do(func() {
+		stop := make(chan struct{})
+		go w.watchdog(stop)
+		rankErrs := make([]error, len(w.ranks))
+		var wg sync.WaitGroup
+		for i, r := range w.ranks {
+			wg.Add(1)
+			go func(i int, r *Rank) {
+				defer wg.Done()
+				if err := r.rt.Shutdown(); err != nil {
+					rankErrs[i] = fmt.Errorf("dist: rank %d: %w", i, err)
+				}
+			}(i, r)
+		}
+		wg.Wait()
+		close(stop)
+		w.tr.Close()
+		w.errMu.Lock()
+		all := append(w.errs, rankErrs...)
+		w.errMu.Unlock()
+		w.shutErr = errors.Join(all...)
+	})
+	return w.shutErr
+}
+
+// watchdog breaks the one deadlock the dataflow rules cannot prevent: every
+// rank quiescent except receives no future send can match (because the
+// matching sends were never submitted, or are transitively gated behind the
+// parked receives themselves). A rank contributes no further progress iff
+// its only running bodies are parked receives and its ready queue is empty;
+// when that holds for every rank at once, the world is wedged. Detection
+// requires consecutive stuck samples with no task completions in between,
+// so a receive that matched between samples (its rank briefly looks stuck
+// while the body finishes) cannot be misread as deadlock. On detection the
+// transport is closed: every parked receive errors out with ErrClosed, the
+// graphs drain, and Shutdown reports the join.
+func (w *World) watchdog(stop <-chan struct{}) {
+	const probe = 20 * time.Millisecond
+	stuckRuns := 0
+	var lastDone uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(probe):
+		}
+		done := uint64(0)
+		for _, r := range w.ranks {
+			done += r.rt.Stats().Completed
+		}
+		if !w.stuckOnRecvs() || (stuckRuns > 0 && done != lastDone) {
+			stuckRuns, lastDone = 0, done
+			continue
+		}
+		stuckRuns++
+		lastDone = done
+		if stuckRuns < 3 {
+			continue
+		}
+		parked := 0
+		for _, r := range w.ranks {
+			parked += int(r.parked.Load())
+		}
+		w.addErr(fmt.Errorf("dist: shutdown deadlock: %d receive(s) can never match: %w", parked, ErrClosed))
+		w.tr.Close()
+		return
+	}
+}
+
+// stuckOnRecvs reports whether, at this instant, no rank can make progress
+// except through a receive matching: at least one receive is parked, and on
+// every rank all running task bodies are parked receives with nothing ready
+// to run.
+func (w *World) stuckOnRecvs() bool {
+	parked := 0
+	for _, r := range w.ranks {
+		p := int(r.parked.Load())
+		parked += p
+		if r.rt.Executing() != p || r.rt.ReadyPending() != 0 {
+			return false
+		}
+	}
+	return parked > 0
+}
+
+// Err returns the joined communication errors observed so far without
+// shutting down.
+func (w *World) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return errors.Join(w.errs...)
+}
+
+func (w *World) addErr(err error) {
+	w.errMu.Lock()
+	w.errs = append(w.errs, err)
+	w.errMu.Unlock()
+}
+
+// ID returns the rank's index in the World.
+func (r *Rank) ID() int { return r.id }
+
+// Runtime returns the rank's dataflow runtime, for submitting compute tasks.
+func (r *Rank) Runtime() *rt.Runtime { return r.rt }
+
+// Stats returns the rank's runtime counters.
+func (r *Rank) Stats() rt.Stats { return r.rt.Stats() }
+
+// Send submits a communication task that ships a snapshot of buf to partner
+// under tag once every prior task writing region name has completed. The
+// send is eager: it buffers the snapshot in the transport and completes
+// without waiting for the matching Recv. It returns the task id.
+func (r *Rank) Send(partner, tag int, name string, buf buffer.Buffer) uint64 {
+	m := Match{Src: r.id, Dst: partner, Class: ClassP2P, Tag: tag}
+	return r.commSend(fmt.Sprintf("send:%s>%d", name, partner), m, 0, rt.In(name, buf))
+}
+
+// Recv submits a communication task that blocks until the matching message
+// from partner under tag arrives and copies it into buf; tasks reading
+// region name afterwards are gated behind it. A type or length mismatch
+// between the payload and buf is recorded as a World error. It returns the
+// task id.
+func (r *Rank) Recv(partner, tag int, name string, buf buffer.Buffer) uint64 {
+	m := Match{Src: partner, Dst: r.id, Class: ClassP2P, Tag: tag}
+	return r.commRecv(fmt.Sprintf("recv:%s<%d", name, partner), m, 0, rt.Out(name, buf))
+}
+
+// commSend submits a comm task that, when its dependencies resolve, seals a
+// clone of args[payload] (an empty frame if payload < 0) and hands it to the
+// transport for m's mailbox.
+func (r *Rank) commSend(label string, m Match, payload int, args ...rt.Arg) uint64 {
+	w := r.w
+	return r.rt.SubmitComm(label, func(ctx *rt.Ctx) {
+		var p buffer.Buffer = buffer.U8{}
+		if payload >= 0 {
+			p = ctx.Buf(payload).Clone()
+		}
+		w.tr.Send(m, p)
+		w.sent.Add(1)
+	}, args...)
+}
+
+// commRecv submits a comm task that blocks for m's next message and, if
+// dst >= 0, copies its payload into args[dst]. The rendezvous wait runs
+// inside a blocking section so a worker parked on an unmatched receive
+// never starves the compute (and sends) that would eventually match it.
+func (r *Rank) commRecv(label string, m Match, dst int, args ...rt.Arg) uint64 {
+	w := r.w
+	return r.rt.SubmitComm(label, func(ctx *rt.Ctx) {
+		r.rt.EnterBlocking()
+		r.parked.Add(1)
+		p, err := w.tr.Recv(m)
+		r.parked.Add(-1)
+		r.rt.ExitBlocking()
+		if err != nil {
+			w.addErr(fmt.Errorf("dist: rank %d %s: %w", r.id, label, err))
+			return
+		}
+		if dst >= 0 {
+			if err := ctx.Buf(dst).CopyFrom(p); err != nil {
+				w.addErr(fmt.Errorf("dist: rank %d %s: %w", r.id, label, err))
+			}
+		}
+	}, args...)
+}

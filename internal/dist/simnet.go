@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"sync"
+
+	"appfit/internal/buffer"
+	"appfit/internal/simnet"
+	"appfit/internal/simtime"
+)
+
+// Sim is a Direct matcher that additionally charges every message latency
+// and bandwidth through internal/simnet's interconnect model, including
+// per-link serialization. Delivery to the receiver is immediate (the ranks
+// run at wall-clock speed); only the clock is virtual: after a run, Now()
+// is the time the same traffic would have needed on the modeled fabric, and
+// Messages/BytesSent are the network's own accounting.
+//
+// The virtual clock is advanced under a transport-wide lock in the order the
+// send tasks happen to execute, so Now() of a concurrent run is
+// schedule-dependent within the bounds of link serialization; totals
+// (Messages, BytesSent) are exact.
+type Sim struct {
+	direct *Direct
+
+	mu  sync.Mutex // guards eng and net (both single-threaded by design)
+	eng *simtime.Engine
+	net *simnet.Network
+}
+
+// NewSim returns a simnet-backed transport with the given interconnect cost
+// model (simnet.Marenostrum() for the paper's fabric class).
+func NewSim(cfg simnet.Config) *Sim {
+	eng := simtime.New()
+	return &Sim{
+		direct: NewDirect(),
+		eng:    eng,
+		net:    simnet.New(eng, cfg),
+	}
+}
+
+// Send implements Transport: the payload is charged its transfer time on the
+// (Src, Dst) link in virtual time, then delivered to the matcher.
+func (s *Sim) Send(m Match, payload buffer.Buffer) {
+	s.mu.Lock()
+	s.net.Send(m.Src, m.Dst, payload.SizeBytes(), func() {
+		s.direct.Send(m, payload)
+	})
+	// Fire the delivery event now: real ranks do not wait for virtual time,
+	// they only account it. Draining keeps at most one event queued.
+	s.eng.Run()
+	s.mu.Unlock()
+}
+
+// Recv implements Transport.
+func (s *Sim) Recv(m Match) (buffer.Buffer, error) { return s.direct.Recv(m) }
+
+// Close implements Transport.
+func (s *Sim) Close() { s.direct.Close() }
+
+// Now returns the virtual time the traffic so far would have needed on the
+// modeled interconnect.
+func (s *Sim) Now() simtime.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Now()
+}
+
+// Messages returns the number of messages charged to the network.
+func (s *Sim) Messages() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net.Messages()
+}
+
+// BytesSent returns the cumulative payload bytes charged to the network.
+func (s *Sim) BytesSent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net.BytesSent()
+}

@@ -1,0 +1,130 @@
+// Transport is the message-moving layer under a World. The runtime side of
+// dist (Send/Recv comm tasks, collectives) is transport-agnostic: it seals a
+// snapshot of the sender's buffer into a payload and asks the Transport to
+// deliver it to the matching mailbox. Two implementations ship:
+//
+//   - Direct: an in-process matcher — a tag+partner rendezvous table with
+//     FIFO delivery per mailbox. This is the default and the fastest path.
+//   - Sim: Direct plus a virtual interconnect clock — every payload is
+//     charged latency and bandwidth through internal/simnet's cost model
+//     (per-link serialization included), so a World can report the
+//     communication makespan a real fabric would impose.
+package dist
+
+import (
+	"errors"
+	"sync"
+
+	"appfit/internal/buffer"
+)
+
+// Class separates traffic kinds so the tags of collective plumbing can never
+// collide with user-chosen point-to-point tags.
+type Class uint8
+
+const (
+	// ClassP2P is user Send/Recv traffic.
+	ClassP2P Class = iota
+	// ClassBarrier is dissemination-barrier plumbing.
+	ClassBarrier
+	// ClassBcast is broadcast-tree traffic.
+	ClassBcast
+	// ClassReduce is reduction gather traffic.
+	ClassReduce
+)
+
+// Match identifies one mailbox: a directed (Src, Dst) link plus a class, a
+// tag, and a class-private subchannel — the dissemination round for
+// barriers, the root for broadcast/reduce trees — so two same-tag
+// collectives rooted differently can never share a mailbox. Messages with
+// the same Match deliver in FIFO order.
+type Match struct {
+	Src, Dst int
+	Class    Class
+	Tag      int
+	Sub      int
+}
+
+// ErrClosed is returned by Recv when the transport is closed while the
+// receive is still unmatched — a shutdown with a dangling Recv.
+var ErrClosed = errors.New("dist: transport closed with pending receive")
+
+// Transport moves sealed payloads between ranks. Implementations must be
+// safe for concurrent use by all ranks' workers.
+type Transport interface {
+	// Send delivers payload to m's mailbox. The payload is private to the
+	// transport from this point on (the caller has already snapshotted it).
+	Send(m Match, payload buffer.Buffer)
+	// Recv blocks until a message is available in m's mailbox and returns
+	// the oldest one.
+	Recv(m Match) (buffer.Buffer, error)
+	// Close unblocks every pending Recv with ErrClosed.
+	Close()
+}
+
+// Direct is the in-process rendezvous matcher: an eager-send mailbox table
+// keyed by Match, FIFO per mailbox, with receivers blocking until a matching
+// message arrives.
+type Direct struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[Match][]buffer.Buffer
+	closed bool
+}
+
+// NewDirect returns an empty matcher.
+func NewDirect() *Direct {
+	d := &Direct{queues: make(map[Match][]buffer.Buffer)}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// Send implements Transport: the message is buffered immediately (MPI
+// eager mode); the sender never blocks on the receiver.
+func (d *Direct) Send(m Match, payload buffer.Buffer) {
+	d.mu.Lock()
+	d.queues[m] = append(d.queues[m], payload)
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// Recv implements Transport.
+func (d *Direct) Recv(m Match) (buffer.Buffer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if q := d.queues[m]; len(q) > 0 {
+			p := q[0]
+			if len(q) == 1 {
+				delete(d.queues, m)
+			} else {
+				d.queues[m] = q[1:]
+			}
+			return p, nil
+		}
+		if d.closed {
+			return nil, ErrClosed
+		}
+		d.cond.Wait()
+	}
+}
+
+// Close implements Transport.
+func (d *Direct) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// Pending returns the number of sent-but-unreceived messages; tests use it
+// to assert a World drained its traffic.
+func (d *Direct) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, q := range d.queues {
+		n += len(q)
+	}
+	return n
+}

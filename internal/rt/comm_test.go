@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -68,6 +69,34 @@ func TestSubmitCommOrdersWithComputeTasks(t *testing.T) {
 	}
 	if got[0] != 5 {
 		t.Fatalf("comm task ran before producer: %v", got[0])
+	}
+}
+
+func TestEnterBlockingPreventsWorkerStarvation(t *testing.T) {
+	// Both workers pick comm tasks that park until a third task runs.
+	// Without the spare-worker handoff in EnterBlocking the pool would
+	// deadlock: the parked tasks occupy every worker and the releasing task
+	// never executes. The test relies on go test's timeout to catch that.
+	r := New(Config{Workers: 2})
+	release := make(chan struct{})
+	b := buffer.NewF64(1)
+	for i := 0; i < 2; i++ {
+		key := fmt.Sprintf("R%d", i)
+		r.SubmitComm("park", func(ctx *Ctx) {
+			r.EnterBlocking()
+			<-release
+			r.ExitBlocking()
+		}, In(key, buffer.NewF64(1)))
+	}
+	r.Submit("release", func(ctx *Ctx) {
+		close(release)
+		ctx.F64(0)[0] = 1
+	}, Out("U", b))
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 {
+		t.Fatalf("release task did not run: %v", b[0])
 	}
 }
 

@@ -184,6 +184,38 @@ type Stats struct {
 	Checkpoint ckpt.Stats
 }
 
+// Add accumulates other into s, for aggregating counters across runtimes
+// (e.g. the ranks of a dist.World). Counters, times and byte totals sum;
+// Checkpoint.PeakLive and Copies take the maximum — a sum of peaks observed
+// at different times is not a peak, so the aggregate reports the largest
+// single-runtime peak (concurrent peaks are not tracked across runtimes).
+func (s *Stats) Add(other Stats) {
+	s.Submitted += other.Submitted
+	s.Completed += other.Completed
+	s.Replicated += other.Replicated
+	s.SDCDetected += other.SDCDetected
+	s.SDCRecovered += other.SDCRecovered
+	s.DUERecovered += other.DUERecovered
+	s.UnprotectedSDC += other.UnprotectedSDC
+	s.UnprotectedDUE += other.UnprotectedDUE
+	s.VoteFailures += other.VoteFailures
+	s.Reexecutions += other.Reexecutions
+	s.TaskTimeNs += other.TaskTimeNs
+	s.ReplicatedTimeNs += other.ReplicatedTimeNs
+	s.RedundantTimeNs += other.RedundantTimeNs
+	s.DepEdges += other.DepEdges
+	s.Checkpoint.Saves += other.Checkpoint.Saves
+	s.Checkpoint.Restores += other.Checkpoint.Restores
+	s.Checkpoint.BytesSaved += other.Checkpoint.BytesSaved
+	s.Checkpoint.BytesLive += other.Checkpoint.BytesLive
+	if other.Checkpoint.PeakLive > s.Checkpoint.PeakLive {
+		s.Checkpoint.PeakLive = other.Checkpoint.PeakLive
+	}
+	if other.Checkpoint.Copies > s.Checkpoint.Copies {
+		s.Checkpoint.Copies = other.Checkpoint.Copies
+	}
+}
+
 // PctTasksReplicated returns 100 × Replicated / Completed.
 func (s Stats) PctTasksReplicated() float64 {
 	if s.Completed == 0 {
@@ -235,6 +267,13 @@ type Runtime struct {
 
 	workersWG sync.WaitGroup
 	closed    atomic.Bool
+
+	// blocked counts workers currently parked inside a blocking section of
+	// a task body (EnterBlocking); spares counts the extra workers spawned
+	// to cover for them; executing counts task bodies currently running.
+	blocked   atomic.Int32
+	spares    atomic.Int32
+	executing atomic.Int32
 
 	errMu    sync.Mutex
 	firstErr error
@@ -399,6 +438,68 @@ func (r *Runtime) worker(w int) {
 	}
 }
 
+// EnterBlocking marks the calling task body as about to park on an external
+// event — a communication rendezvous, typically. The runtime guarantees a
+// spare worker is running so the parked one does not reduce the pool's
+// compute concurrency: without this, a pool whose every worker picked a
+// blocking receive could never execute the very sends that would unblock
+// them (the classic message-progress deadlock). Must be paired with
+// ExitBlocking on the same goroutine. Spare workers report Ctx.Worker() ==
+// Workers().
+func (r *Runtime) EnterBlocking() {
+	b := r.blocked.Add(1)
+	for {
+		s := r.spares.Load()
+		if s >= b {
+			return
+		}
+		if r.spares.CompareAndSwap(s, s+1) {
+			r.workersWG.Add(1)
+			go r.spare()
+			return
+		}
+	}
+}
+
+// ExitBlocking ends a blocking section begun with EnterBlocking. The spare
+// that covered for it retires lazily, once it finishes its current task and
+// observes more spares than blocked workers.
+func (r *Runtime) ExitBlocking() { r.blocked.Add(-1) }
+
+// spare is a worker spawned by EnterBlocking. It draws from the global
+// queue and steals from every deque (its index is out of the per-worker
+// range), and it retires when no longer needed. The retire/spawn pair
+// re-checks the opposite counter after its own write, so an EnterBlocking
+// racing with a retirement always ends with spares ≥ blocked.
+func (r *Runtime) spare() {
+	defer r.workersWG.Done()
+	for {
+		for {
+			s := r.spares.Load()
+			if s <= r.blocked.Load() {
+				break // still covering for someone
+			}
+			if r.spares.CompareAndSwap(s, s-1) {
+				if r.blocked.Load() > s-1 {
+					// Lost a race with a fresh EnterBlocking that saw the
+					// pre-decrement count and skipped spawning: stay on.
+					r.spares.Add(1)
+					break
+				}
+				return
+			}
+		}
+		id, ok := r.pool.Get(r.cfg.Workers)
+		if !ok {
+			return
+		}
+		r.mu.Lock()
+		t := r.tasks[id]
+		r.mu.Unlock()
+		r.execute(t, r.cfg.Workers)
+	}
+}
+
 // attemptResult is the outcome of one execution attempt of a task.
 type attemptResult struct {
 	outputs []buffer.Buffer // writable-arg buffers of this attempt, in arg order
@@ -492,7 +593,18 @@ func cloneExecBufs(args []Arg) []buffer.Buffer {
 	return bufs
 }
 
+// Executing returns the number of task bodies currently running, including
+// bodies parked in a blocking section. Together with ReadyPending it lets a
+// communication layer detect quiescence (see internal/dist's watchdog).
+func (r *Runtime) Executing() int { return int(r.executing.Load()) }
+
+// ReadyPending returns the number of ready tasks not yet claimed by a
+// worker.
+func (r *Runtime) ReadyPending() int { return r.pool.Pending() }
+
 func (r *Runtime) execute(t *task, w int) {
+	r.executing.Add(1)
+	defer r.executing.Add(-1)
 	rec := trace.Record{
 		TaskID:   t.id,
 		Label:    t.label,
