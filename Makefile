@@ -1,10 +1,11 @@
-# Repo checks. `make check` is the tier-1 gate plus vet and example builds.
+# Repo checks. `make check` is the tier-1 gate plus vet, example builds and a
+# one-iteration pass over the scale benchmarks so they cannot rot.
 
 GO ?= go
 
-.PHONY: check vet build test race bench build-examples run-examples
+.PHONY: check vet build test race bench bench-figures bench-scale bench-build build-examples run-examples
 
-check: vet race build-examples
+check: vet race build-examples bench-build
 
 vet:
 	$(GO) vet ./...
@@ -18,8 +19,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+# Full benchmark pass: the paper-figure benches at the repo root, then the
+# scale suite, whose results are recorded as the BENCH_scale.json baseline —
+# the repo's perf trajectory, one data point per PR that touches a hot path.
+bench: bench-figures bench-scale
+
+bench-figures:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+bench-scale:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=0.5s ./internal/bench/scale \
+		| $(GO) run ./cmd/benchjson -suite scale -out BENCH_scale.json
+
+# Run every scale benchmark exactly once: compiles them and executes one
+# iteration, catching drift that `go vet` and unit tests cannot see.
+bench-build:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/bench/scale
 
 # Compile every example and command entry point; catches facade drift that
 # package tests cannot see.

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// baseline file, so `make bench` can record the repo's perf trajectory
+// (BENCH_scale.json) in a diffable, machine-readable form. Input lines are
+// echoed to stdout unchanged, so the human-readable run stays visible.
+//
+//	go test -run='^$' -bench=. -benchmem ./internal/bench/scale | \
+//	    go run ./cmd/benchjson -suite scale -out BENCH_scale.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark's full name including sub-benchmark path and
+	// the -N GOMAXPROCS suffix go test appends, e.g.
+	// "DirectHerd/sharded/parked=255-8".
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the line:
+	// ns/op, B/op, allocs/op and any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the file layout of BENCH_scale.json. Goos/Goarch/Pkg/CPU echo
+// the environment lines go test prints before the results.
+type Baseline struct {
+	Suite      string      `json:"suite"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	suite := flag.String("suite", "scale", "suite name recorded in the JSON")
+	out := flag.String("out", "", "output file (default stdout only)")
+	flag.Parse()
+
+	base := Baseline{Suite: *suite}
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			base.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			base.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			base.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			base.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				base.Benchmarks = append(base.Benchmarks, b)
+			}
+		case strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL"):
+			failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: benchmark run FAILed; not writing baseline")
+		os.Exit(1)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines seen on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(base.Benchmarks), *out)
+}
+
+// parseLine parses one `BenchmarkName-N  iters  v1 u1  v2 u2 ...` line.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimPrefix(f[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(f)-2)/2),
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}

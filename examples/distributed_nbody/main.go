@@ -7,8 +7,8 @@
 // Part 2 — the same blocked algorithm running for real on the distributed
 // World (internal/dist): one rank per block, each rank its own dataflow
 // runtime under complete replication with injected faults, positions
-// allgathered every step through dependency-gated broadcast trees over a
-// simnet-backed transport that charges every message Marenostrum-class
+// allgathered every step through the dependency-gated ring collective over
+// a simnet-backed transport that charges every message Marenostrum-class
 // latency and bandwidth. The final positions must match the serial
 // reference bitwise: replication recovers every injected fault and the
 // communication tasks are never replicated, so no message is ever
@@ -102,16 +102,19 @@ func worldRun() {
 	// Rank rk owns block rk (positions + velocities) and holds ghost copies
 	// of every other block's positions, refreshed by allgather each step.
 	pk := func(j int) string { return fmt.Sprintf("pos[%d]", j) }
-	pos := make([][]buffer.F64, ranks)  // pos[rk][j]: rank rk's copy of block j
+	pos := make([][]buffer.F64, ranks) // pos[rk][j]: rank rk's copy of block j
 	vel := make([]buffer.F64, ranks)
 	acc := make([]buffer.F64, ranks)
 	pacc := make([][]buffer.F64, ranks) // pacc[rk][j]: partial forces of block j on block rk
+	posBufs := make([][]buffer.Buffer, ranks)
 	for rk := 0; rk < ranks; rk++ {
 		pos[rk] = make([]buffer.F64, ranks)
 		pacc[rk] = make([]buffer.F64, ranks)
+		posBufs[rk] = make([]buffer.Buffer, ranks)
 		for j := 0; j < ranks; j++ {
 			pos[rk][j] = buffer.NewF64(3 * b)
 			pacc[rk][j] = buffer.NewF64(3 * b)
+			posBufs[rk][j] = pos[rk][j]
 		}
 		nbody.InitBlock(pos[rk][rk], rk, b)
 		vel[rk] = buffer.NewF64(3 * b)
@@ -119,17 +122,11 @@ func worldRun() {
 	}
 
 	for step := 0; step < steps; step++ {
-		// Allgather: every rank broadcasts its post-integration block down a
-		// binomial tree; the sends read the owner's region, so they gate on
-		// the previous step's integrate, and the receives write the ghost
-		// regions the force tasks read.
-		for j := 0; j < ranks; j++ {
-			bufs := make([]buffer.Buffer, ranks)
-			for rk := 0; rk < ranks; rk++ {
-				bufs[rk] = pos[rk][j]
-			}
-			w.Broadcast(j, step, pk(j), bufs)
-		}
+		// Allgather: the first-class ring collective circulates every rank's
+		// post-integration block over neighbor links; each rank's first send
+		// reads its own region, so it gates on the previous step's integrate,
+		// and the receives write the ghost regions the force tasks read.
+		w.Allgather(step, pk, posBufs)
 		for rk := 0; rk < ranks; rk++ {
 			for j := 0; j < ranks; j++ {
 				j := j
@@ -177,7 +174,7 @@ func worldRun() {
 		fmt.Printf("%-6d %-12d %-12d sdc:%d due:%d\n", rk,
 			st.Replicated, st.Reexecutions, st.SDCRecovered, st.DUERecovered)
 	}
-	fmt.Printf("messages sent: %d (allgather trees, never duplicated by replication)\n", w.MessagesSent())
+	fmt.Printf("messages sent: %d (allgather rings, never duplicated by replication)\n", w.MessagesSent())
 	fmt.Printf("fabric charge: %d bytes in %.1f µs of virtual Marenostrum time\n",
 		sim.BytesSent(), sim.Now().Seconds()*1e6)
 	fmt.Printf("bitwise identical to serial reference: %v\n", exact)

@@ -1,0 +1,326 @@
+// Package scale is the submit→ready→complete scale suite: microbenchmarks
+// for the three sharded layers (deps tracker, sched pool, dist rendezvous)
+// against their frozen single-mutex baselines (baseline_test.go), plus whole
+// Worlds at 64/128/256 ranks over the Direct and Sim transports. `make
+// bench` runs it with -benchmem and records BENCH_scale.json, the repo's
+// perf trajectory; `make check` runs every benchmark once so they cannot
+// rot.
+package scale
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"appfit/internal/buffer"
+	"appfit/internal/deps"
+	"appfit/internal/dist"
+	"appfit/internal/rt"
+	"appfit/internal/sched"
+	"appfit/internal/simnet"
+)
+
+// ---- deps: registration and completion ----
+
+// BenchmarkDepsRegisterChain is the single-thread honesty check: one
+// registrar building an inout chain, completing as it goes. Sharding must
+// not make the uncontended path materially slower.
+func BenchmarkDepsRegisterChain(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() tracker
+	}{
+		{"sharded", func() tracker { return deps.NewTracker() }},
+		{"mutex", func() tracker { return newMutexTracker() }},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			tr := impl.mk()
+			acc := []deps.Access{{Key: "X", Mode: deps.Inout}}
+			for i := 0; i < b.N; i++ {
+				tr.Register(uint64(i+1), acc)
+				if i > 0 {
+					tr.Complete(uint64(i))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDepsCompleteParallel is the contended hot path: tasks on disjoint
+// regions completed from every CPU at once. The mutex baseline serializes
+// all of them; the sharded tracker only collides 1/64 of the time on a
+// node-shard lock.
+func BenchmarkDepsCompleteParallel(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() tracker
+	}{
+		{"sharded", func() tracker { return deps.NewTracker() }},
+		{"mutex", func() tracker { return newMutexTracker() }},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			tr := impl.mk()
+			// Pre-register b.N two-task chains (producer → consumer on a
+			// private region): Complete of a producer walks an edge and
+			// releases exactly one successor, like a real dataflow step.
+			for i := 0; i < b.N; i++ {
+				key := "r" + strconv.Itoa(i)
+				tr.Register(uint64(2*i+1), []deps.Access{{Key: key, Mode: deps.Out}})
+				tr.Register(uint64(2*i+2), []deps.Access{{Key: key, Mode: deps.In}})
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1) - 1
+					released := tr.Complete(uint64(2*i + 1))
+					if len(released) != 1 {
+						b.Errorf("chain %d released %v", i, released)
+						return
+					}
+					tr.Complete(released[0])
+				}
+			})
+		})
+	}
+}
+
+// ---- sched: successor release ----
+
+// BenchmarkSchedRelease measures the producer side of a completion releasing
+// k successors: k Submit calls (k pool-lock acquisitions and wakes) vs one
+// SubmitBatch. Workers drain concurrently, as in the runtime.
+func BenchmarkSchedRelease(b *testing.B) {
+	const k = 8
+	for _, mode := range []string{"submit", "batch"} {
+		mode := mode
+		b.Run(mode+"/succs="+strconv.Itoa(k), func(b *testing.B) {
+			b.ReportAllocs()
+			p := sched.NewPool(4)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						if _, ok := p.Get(w); !ok {
+							return
+						}
+					}
+				}(w)
+			}
+			batch := make([]uint64, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = uint64(i*k + j + 1)
+				}
+				if mode == "batch" {
+					p.SubmitBatch(0, batch)
+				} else {
+					for _, v := range batch {
+						p.Submit(0, v)
+					}
+				}
+			}
+			b.StopTimer()
+			p.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// ---- dist: rendezvous ----
+
+// BenchmarkDirectPingPong is the uncontended matcher path: one goroutine,
+// one mailbox, send then receive.
+func BenchmarkDirectPingPong(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() dist.Transport
+	}{
+		{"sharded", func() dist.Transport { return dist.NewDirect() }},
+		{"mutex", func() dist.Transport { return newMutexMatcher() }},
+	}
+	payload := buffer.NewF64(16)
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			d := impl.mk()
+			m := dist.Match{Src: 0, Dst: 1, Tag: 7}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Send(m, payload)
+				if _, err := d.Recv(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDirectContended runs one sender/receiver mailbox per CPU in
+// parallel: disjoint traffic that the mutex baseline still serializes on its
+// global lock.
+func BenchmarkDirectContended(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() dist.Transport
+	}{
+		{"sharded", func() dist.Transport { return dist.NewDirect() }},
+		{"mutex", func() dist.Transport { return newMutexMatcher() }},
+	}
+	payload := buffer.NewF64(16)
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			d := impl.mk()
+			var lane atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				m := dist.Match{Src: int(lane.Add(1)), Dst: 0, Tag: 3}
+				for pb.Next() {
+					d.Send(m, payload)
+					if _, err := d.Recv(m); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDirectHerd is the thundering-herd scenario from ROADMAP: 255
+// receivers — a 256-rank World's worth — parked on unrelated mailboxes
+// while two goroutines ping-pong through the matcher. Every message's
+// arrival must wake someone; the mutex baseline's Send broadcasts on the
+// single condition variable, waking all 255 bystanders to recheck and
+// re-park per message, while the sharded matcher wakes only the couple of
+// bystanders that hash to the sender's shard. The ping-ponger genuinely
+// blocks in Recv, so the bystanders' rechecks are on the critical path —
+// exactly as in a World where most ranks sit in blocking receives.
+func BenchmarkDirectHerd(b *testing.B) {
+	const parked = 255
+	impls := []struct {
+		name string
+		mk   func() dist.Transport
+	}{
+		{"sharded", func() dist.Transport { return dist.NewDirect() }},
+		{"mutex", func() dist.Transport { return newMutexMatcher() }},
+	}
+	payload := buffer.NewF64(16)
+	for _, impl := range impls {
+		b.Run(impl.name+"/parked="+strconv.Itoa(parked), func(b *testing.B) {
+			b.ReportAllocs()
+			d := impl.mk()
+			var wg sync.WaitGroup
+			for i := 0; i < parked; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					// Never matched; unblocked by Close with ErrClosed.
+					d.Recv(dist.Match{Src: 1000 + i, Dst: i, Tag: 9})
+				}(i)
+			}
+			ping := dist.Match{Src: 0, Dst: 1, Tag: 7}
+			pong := dist.Match{Src: 1, Dst: 0, Tag: 7}
+			wg.Add(1)
+			go func() { // responder
+				defer wg.Done()
+				for {
+					if _, err := d.Recv(ping); err != nil {
+						return
+					}
+					d.Send(pong, payload)
+				}
+			}()
+			// One untimed round plus a settle delay lets every bystander
+			// actually park before timing starts, so the first measured
+			// iterations already pay the full wake-up bill.
+			d.Send(ping, payload)
+			if _, err := d.Recv(pong); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(50 * time.Millisecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Send(ping, payload)
+				if _, err := d.Recv(pong); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			d.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// ---- whole Worlds at scale ----
+
+// worldTraffic drives one World through the mixed pattern the ROADMAP scale
+// item names: a ring halo exchange (point-to-point), a dissemination
+// barrier, and an allreduce — the hot submit→ready→complete path of every
+// rank plus cross-rank rendezvous. Returns the messages moved.
+func worldTraffic(b *testing.B, ranks int, mk func() dist.Transport) uint64 {
+	w := dist.NewWorld(dist.Config{Ranks: ranks, Transport: mk()})
+	own := make([]buffer.F64, ranks)
+	halo := make([]buffer.F64, ranks)
+	red := make([]buffer.F64, ranks)
+	for i := 0; i < ranks; i++ {
+		own[i] = buffer.F64{float64(i)}
+		halo[i] = buffer.NewF64(1)
+		red[i] = buffer.F64{float64(i)}
+	}
+	for i := 0; i < ranks; i++ {
+		w.Rank(i).Send((i+1)%ranks, 0, "own", own[i])
+		w.Rank(i).Recv(((i-1)%ranks+ranks)%ranks, 0, "halo", halo[i])
+	}
+	for i := 0; i < ranks; i++ {
+		w.Rank(i).Barrier(1, rt.In("halo", halo[i]))
+	}
+	w.AllreduceSum(2, "red", red)
+	if err := w.Shutdown(); err != nil {
+		b.Fatal(err)
+	}
+	if halo[0][0] != float64(ranks-1) || red[0][0] != float64(ranks*(ranks-1)/2) {
+		b.Fatalf("world traffic produced wrong data: halo %v red %v", halo[0][0], red[0][0])
+	}
+	return w.MessagesSent()
+}
+
+// BenchmarkWorldScale runs the mixed-traffic World at 64/128/256 ranks over
+// the sharded Direct, the frozen mutex matcher, and the Sim fabric
+// (Marenostrum cost model). One op is a whole World lifetime: construction,
+// traffic, drain, shutdown.
+func BenchmarkWorldScale(b *testing.B) {
+	transports := []struct {
+		name string
+		mk   func() dist.Transport
+	}{
+		{"direct", func() dist.Transport { return dist.NewDirect() }},
+		{"mutex", func() dist.Transport { return newMutexMatcher() }},
+		{"sim", func() dist.Transport { return dist.NewSim(simnet.Marenostrum()) }},
+	}
+	for _, tr := range transports {
+		for _, ranks := range []int{64, 128, 256} {
+			tr, ranks := tr, ranks
+			b.Run(fmt.Sprintf("%s/ranks=%d", tr.name, ranks), func(b *testing.B) {
+				b.ReportAllocs()
+				var msgs uint64
+				for i := 0; i < b.N; i++ {
+					msgs = worldTraffic(b, ranks, tr.mk)
+				}
+				b.ReportMetric(float64(msgs), "msgs/world")
+			})
+		}
+	}
+}

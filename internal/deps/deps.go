@@ -8,11 +8,19 @@
 // layers actual buffers on top. The tracker is safe for a single registering
 // goroutine with concurrent completions, which matches how a task-parallel
 // program submits: one main thread creates tasks while workers finish them.
+//
+// Internally the tracker is lock-striped rather than globally locked: region
+// state lives in hash-sharded tables, the node table is sharded by task id,
+// and per-node pending counts are atomics guarded against premature release
+// by a registration token. Complete calls on tasks with disjoint successor
+// sets touch no common lock, so completions on independent subgraphs never
+// serialize (see DESIGN.md §6).
 package deps
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Mode declares how a task accesses a region.
@@ -56,62 +64,26 @@ type Access struct {
 // regionState tracks, per region, the last task that wrote it and the tasks
 // that have read it since that write. Writers depend on the previous writer
 // (WAW) and all readers since (WAR); readers depend on the last writer (RAW).
+// Region state is only ever touched by the registering goroutine, so it
+// needs no lock of its own; the shard mutex protects the map structure.
 type regionState struct {
 	lastWriter uint64 // 0 = none
 	readers    []uint64
 }
 
-type node struct {
-	id         uint64
-	pending    int      // unfinished predecessors
-	successors []uint64 // tasks waiting on this one
-	done       bool
-}
-
-// Tracker builds the dependency graph incrementally and reports readiness.
-type Tracker struct {
-	mu      sync.Mutex
-	regions map[string]*regionState
-	nodes   map[uint64]*node
-	edges   int
-}
-
-// NewTracker returns an empty Tracker.
-func NewTracker() *Tracker {
-	return &Tracker{
-		regions: make(map[string]*regionState),
-		nodes:   make(map[uint64]*node),
-	}
-}
-
-// Register adds task id (must be nonzero and fresh) with its declared
-// accesses, in program order. It returns true if the task has no unfinished
-// predecessors and is immediately ready to run.
-func (t *Tracker) Register(id uint64, accesses []Access) (ready bool) {
-	if id == 0 {
-		panic("deps: task id 0 is reserved")
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, dup := t.nodes[id]; dup {
-		panic(fmt.Sprintf("deps: duplicate task id %d", id))
-	}
-	n := &node{id: id}
-	t.nodes[id] = n
-
-	// Collect predecessor ids, deduplicated; a task may depend on another
-	// through several regions but should count it once.
+// derivePreds is the one edge-derivation rule, shared by the online Tracker
+// and the static Graph: scan every access against its region state collecting
+// predecessor ids, then apply the state updates, so a task that both reads
+// and writes disjoint declarations of the same key behaves like inout.
+// get must return a stable *regionState for a key (creating it if missing).
+func derivePreds(get func(string) *regionState, id uint64, accesses []Access) map[uint64]bool {
 	preds := map[uint64]bool{}
-	for _, a := range accesses {
-		rs := t.regions[a.Key]
-		if rs == nil {
-			rs = &regionState{}
-			t.regions[a.Key] = rs
-		}
-		if a.Mode.Reads() {
-			if rs.lastWriter != 0 {
-				preds[rs.lastWriter] = true // RAW
-			}
+	states := make([]*regionState, len(accesses))
+	for i, a := range accesses {
+		rs := get(a.Key)
+		states[i] = rs
+		if a.Mode.Reads() && rs.lastWriter != 0 {
+			preds[rs.lastWriter] = true // RAW
 		}
 		if a.Mode.Writes() {
 			if rs.lastWriter != 0 {
@@ -124,11 +96,8 @@ func (t *Tracker) Register(id uint64, accesses []Access) (ready bool) {
 			}
 		}
 	}
-	// Apply state updates after scanning all accesses, so a task that both
-	// reads and writes disjoint declarations of the same key behaves like
-	// inout.
-	for _, a := range accesses {
-		rs := t.regions[a.Key]
+	for i, a := range accesses {
+		rs := states[i]
 		if a.Mode.Writes() {
 			rs.lastWriter = id
 			rs.readers = rs.readers[:0]
@@ -137,86 +106,222 @@ func (t *Tracker) Register(id uint64, accesses []Access) (ready bool) {
 			rs.readers = append(rs.readers, id)
 		}
 	}
+	return preds
+}
 
-	for p := range preds {
-		pn := t.nodes[p]
-		if pn == nil || pn.done {
-			continue
-		}
-		pn.successors = append(pn.successors, id)
-		n.pending++
-		t.edges++
+// node is one registered task. pending counts unfinished predecessors plus,
+// while Register is still scanning accesses, one registration token that
+// keeps a racing Complete of an early predecessor from releasing the task
+// before its remaining edges exist. mu guards done and successors — the only
+// state a Register (appending an edge) and a Complete (draining edges) can
+// contend on, and only when the two tasks are actually adjacent in the graph.
+type node struct {
+	id      uint64
+	pending atomic.Int32
+
+	mu         sync.Mutex
+	done       bool
+	successors []*node
+}
+
+const (
+	// regionShards and nodeShards are the striping widths. 64 keeps the
+	// per-Tracker footprint small (a dist.World holds one tracker per rank)
+	// while making two concurrent completions collide on a node-shard lock
+	// only 1/64 of the time; both must be powers of two so the shard index
+	// is a mask, not a modulo.
+	regionShards = 64
+	nodeShards   = 64
+)
+
+type regionShard struct {
+	mu sync.Mutex
+	m  map[string]*regionState
+}
+
+type nodeShard struct {
+	mu sync.Mutex
+	m  map[uint64]*node
+}
+
+// Tracker builds the dependency graph incrementally and reports readiness.
+// Register is single-goroutine (the program's submitting thread); Complete,
+// Pending, Edges and Tasks may be called concurrently from any goroutine.
+type Tracker struct {
+	regions [regionShards]regionShard
+	nodes   [nodeShards]nodeShard
+	edges   atomic.Int64
+	tasks   atomic.Int64
+}
+
+// NewTracker returns an empty Tracker.
+func NewTracker() *Tracker {
+	t := &Tracker{}
+	t.init()
+	return t
+}
+
+func (t *Tracker) init() {
+	for i := range t.regions {
+		t.regions[i].m = make(map[string]*regionState)
 	}
-	return n.pending == 0
+	for i := range t.nodes {
+		t.nodes[i].m = make(map[uint64]*node)
+	}
+}
+
+// fnv1a is the region-key hash: FNV-1a, cheap and well-mixed for the short
+// human-readable keys runtimes use ("pos[3]", "A[2][1]").
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// mix64 finalizes an integer hash (splitmix64's finalizer) so dense task ids
+// spread over the node shards instead of marching through them in order.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// region returns the state for key, creating it if missing. Only the shard
+// map is protected; the returned state is private to the registrar.
+func (t *Tracker) region(key string) *regionState {
+	sh := &t.regions[fnv1a(key)&(regionShards-1)]
+	sh.mu.Lock()
+	rs := sh.m[key]
+	if rs == nil {
+		rs = &regionState{}
+		sh.m[key] = rs
+	}
+	sh.mu.Unlock()
+	return rs
+}
+
+func (t *Tracker) nodeShard(id uint64) *nodeShard {
+	return &t.nodes[mix64(id)&(nodeShards-1)]
+}
+
+// lookup returns the live node for id, or nil if unknown or completed.
+func (t *Tracker) lookup(id uint64) *node {
+	sh := t.nodeShard(id)
+	sh.mu.Lock()
+	n := sh.m[id]
+	sh.mu.Unlock()
+	return n
+}
+
+// Register adds task id (must be nonzero and never used before) with its
+// declared accesses, in program order. It returns true if the task has no
+// unfinished predecessors and is immediately ready to run. Register must be
+// called from a single goroutine; Complete may run concurrently.
+//
+// Duplicate detection is best-effort: reusing a live id panics, but because
+// completed nodes are freed (the tracker's memory tracks the live frontier,
+// not every task ever run), reusing an already-completed id is not caught.
+// The runtime's monotonically increasing ids never reuse either way.
+func (t *Tracker) Register(id uint64, accesses []Access) (ready bool) {
+	if id == 0 {
+		panic("deps: task id 0 is reserved")
+	}
+	n := &node{id: id}
+	// The registration token: pending cannot reach zero — and the task
+	// cannot be released by a concurrent Complete — until the final Add(-1)
+	// below, after every edge has been counted.
+	n.pending.Store(1)
+	sh := t.nodeShard(id)
+	sh.mu.Lock()
+	if _, dup := sh.m[id]; dup {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("deps: duplicate task id %d", id))
+	}
+	sh.m[id] = n
+	sh.mu.Unlock()
+	t.tasks.Add(1)
+
+	for p := range derivePreds(t.region, id, accesses) {
+		pn := t.lookup(p)
+		if pn == nil {
+			continue // predecessor already completed
+		}
+		pn.mu.Lock()
+		if !pn.done {
+			pn.successors = append(pn.successors, n)
+			n.pending.Add(1)
+			t.edges.Add(1)
+		}
+		pn.mu.Unlock()
+	}
+	return n.pending.Add(-1) == 0
 }
 
 // Complete marks task id finished and returns the ids of successor tasks
-// that became ready as a result.
+// that became ready as a result, as a batch the caller can hand to the
+// scheduler in one submission. Complete calls on tasks with disjoint
+// successor sets share no lock. Each task must be completed exactly once.
 func (t *Tracker) Complete(id uint64) (newlyReady []uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := t.nodes[id]
+	sh := t.nodeShard(id)
+	sh.mu.Lock()
+	n := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
 	if n == nil {
-		panic(fmt.Sprintf("deps: Complete of unknown task %d", id))
+		panic(fmt.Sprintf("deps: Complete of unknown or already-completed task %d", id))
 	}
-	if n.done {
-		panic(fmt.Sprintf("deps: Complete called twice for task %d", id))
-	}
+	n.mu.Lock()
 	n.done = true
-	for _, s := range n.successors {
-		sn := t.nodes[s]
-		sn.pending--
-		if sn.pending == 0 {
-			newlyReady = append(newlyReady, s)
-		}
-		if sn.pending < 0 {
-			panic(fmt.Sprintf("deps: negative pending for task %d", s))
+	succs := n.successors
+	n.successors = nil
+	n.mu.Unlock()
+	for _, s := range succs {
+		switch p := s.pending.Add(-1); {
+		case p == 0:
+			newlyReady = append(newlyReady, s.id)
+		case p < 0:
+			panic(fmt.Sprintf("deps: negative pending for task %d", s.id))
 		}
 	}
-	n.successors = nil
 	return newlyReady
 }
 
-// Pending returns the number of unfinished predecessors of id. It is
-// intended for tests and introspection.
+// Pending returns the number of unfinished predecessors of id, or -1 if the
+// task is unknown (never registered, or already completed). It is intended
+// for tests and introspection.
 func (t *Tracker) Pending(id uint64) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := t.nodes[id]
+	n := t.lookup(id)
 	if n == nil {
 		return -1
 	}
-	return n.pending
+	return int(n.pending.Load())
 }
 
 // Edges returns the total number of dependency edges created so far.
-func (t *Tracker) Edges() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.edges
-}
+func (t *Tracker) Edges() int { return int(t.edges.Load()) }
 
-// Tasks returns the number of registered tasks.
-func (t *Tracker) Tasks() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.nodes)
-}
+// Tasks returns the number of tasks registered so far.
+func (t *Tracker) Tasks() int { return int(t.tasks.Load()) }
 
-// Reset clears all state so the tracker can be reused for a fresh graph.
+// Reset clears all state so the tracker can be reused for a fresh graph. It
+// must not race with Register or Complete.
 func (t *Tracker) Reset() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.regions = make(map[string]*regionState)
-	t.nodes = make(map[uint64]*node)
-	t.edges = 0
+	t.init()
+	t.edges.Store(0)
+	t.tasks.Store(0)
 }
 
 // Graph is a static DAG snapshot used by the virtual-time cluster simulator:
 // workloads build their task graph once, then the simulator list-schedules
 // it. Build one with NewGraph and AddTask in program order.
 type Graph struct {
-	tracker *Tracker
+	regions map[string]*regionState
 	// Preds[i] lists predecessor indices of task i; Succs the inverse.
 	Preds, Succs [][]int
 	ids          []uint64
@@ -224,7 +329,7 @@ type Graph struct {
 
 // NewGraph returns an empty static graph builder.
 func NewGraph() *Graph {
-	return &Graph{tracker: NewTracker()}
+	return &Graph{regions: make(map[string]*regionState)}
 }
 
 // AddTask registers the next task (index len-1 after the call) with its
@@ -236,43 +341,15 @@ func (g *Graph) AddTask(accesses []Access) int {
 	g.Preds = append(g.Preds, nil)
 	g.Succs = append(g.Succs, nil)
 
-	// Reuse the tracker's region logic by registering and then reading
-	// back pending counts via successor notifications is awkward; instead
-	// duplicate the edge derivation here against the tracker's regions.
-	t := g.tracker
-	t.mu.Lock()
-	preds := map[uint64]bool{}
-	for _, a := range accesses {
-		rs := t.regions[a.Key]
+	get := func(key string) *regionState {
+		rs := g.regions[key]
 		if rs == nil {
 			rs = &regionState{}
-			t.regions[a.Key] = rs
+			g.regions[key] = rs
 		}
-		if a.Mode.Reads() && rs.lastWriter != 0 {
-			preds[rs.lastWriter] = true
-		}
-		if a.Mode.Writes() {
-			if rs.lastWriter != 0 {
-				preds[rs.lastWriter] = true
-			}
-			for _, r := range rs.readers {
-				preds[r] = true
-			}
-		}
+		return rs
 	}
-	for _, a := range accesses {
-		rs := t.regions[a.Key]
-		if a.Mode.Writes() {
-			rs.lastWriter = id
-			rs.readers = rs.readers[:0]
-		}
-		if a.Mode == In {
-			rs.readers = append(rs.readers, id)
-		}
-	}
-	t.mu.Unlock()
-
-	for p := range preds {
+	for p := range derivePreds(get, id, accesses) {
 		pi := int(p - 1)
 		g.Preds[idx] = append(g.Preds[idx], pi)
 		g.Succs[pi] = append(g.Succs[pi], idx)

@@ -6,9 +6,10 @@
 //
 // Two ordering mechanisms are at work:
 //
-//   - data-carrying collectives (Broadcast, AllreduceSum) chain through the
-//     user's region itself: a tree rank's forwarding sends read the region
-//     its receive wrote, so the dataflow tracker orders them;
+//   - data-carrying collectives (Broadcast, Allgather, Allreduce) chain
+//     through the user's region itself: a tree rank's forwarding sends read
+//     the region its receive wrote — and a ring rank forwards the block its
+//     previous-step receive delivered — so the dataflow tracker orders them;
 //   - Barrier has no payload, so its rounds serialize through an Inout
 //     access on a reserved per-rank token region (collKey) instead; the
 //     same token orders back-to-back collectives on one rank.
@@ -107,13 +108,80 @@ func (w *World) Broadcast(root, tag int, name string, bufs []buffer.Buffer) {
 	}
 }
 
-// AllreduceSum leaves the element-wise sum of every rank's float64 buffer
-// for region name in all of them: ranks 1..n−1 send their buffers to rank 0,
-// which reduces into its own buffer with an ordinary compute task — the
-// reduction is deterministic in its arguments, so the rank's selector may
+// Allgather leaves every rank holding every rank's block for the named
+// regions, via the ring algorithm: in step s of n−1, each rank forwards to
+// its right neighbor the block it received in step s−1 (its own block in
+// step 0) and receives one from its left neighbor — n(n−1) messages total,
+// every one over a nearest-neighbor link, with no root hotspot. bufs[i][j]
+// is rank i's buffer for block j; rank i's own bufs[i][i] is the source and
+// all must match it in type and length. name(j) is block j's region key on
+// every rank, so the forwarding send of step s is dataflow-gated on the
+// receive of step s−1, and compute reading name(j) is gated on the step
+// that delivers block j — the ring pipelines with computation rank by rank.
+//
+// Plumbing travels in ClassGather — its own Match class, so it can never
+// collide with a same-tag Broadcast — with the ring step as the subchannel,
+// so a step-s frame can never match a step-s′ receive even when an eager
+// sender runs two forwards back-to-back.
+func (w *World) Allgather(tag int, name func(j int) string, bufs [][]buffer.Buffer) {
+	n := len(w.ranks)
+	if n == 1 {
+		return
+	}
+	for step := 0; step < n-1; step++ {
+		for i, r := range w.ranks {
+			fwd := ((i-step)%n + n) % n   // block forwarded right this step
+			inc := ((i-step-1)%n + n) % n // block arriving from the left
+			right, left := (i+1)%n, ((i-1)%n+n)%n
+			r.commSend(fmt.Sprintf("allgather:%s>%d", name(fwd), right),
+				Match{Src: i, Dst: right, Class: ClassGather, Tag: tag, Sub: step},
+				0, rt.In(name(fwd), bufs[i][fwd]), r.tokArg())
+			r.commRecv(fmt.Sprintf("allgather:%s<%d", name(inc), left),
+				Match{Src: left, Dst: i, Class: ClassGather, Tag: tag, Sub: step},
+				0, rt.Out(name(inc), bufs[i][inc]), r.tokArg())
+		}
+	}
+}
+
+// ReduceOp combines src into dst element-wise (len(dst) == len(src)). The
+// reduction runs as an ordinary compute task, so an op must be deterministic
+// in its arguments — the replication engine compares outputs bitwise, and a
+// nondeterministic op would be reported as silent data corruption.
+type ReduceOp func(dst, src []float64)
+
+// Predefined reduction operators.
+var (
+	// OpSum accumulates dst[j] += src[j].
+	OpSum ReduceOp = func(dst, src []float64) {
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	// OpMin keeps the element-wise minimum.
+	OpMin ReduceOp = func(dst, src []float64) {
+		for j := range dst {
+			if src[j] < dst[j] {
+				dst[j] = src[j]
+			}
+		}
+	}
+	// OpMax keeps the element-wise maximum.
+	OpMax ReduceOp = func(dst, src []float64) {
+		for j := range dst {
+			if src[j] > dst[j] {
+				dst[j] = src[j]
+			}
+		}
+	}
+)
+
+// Allreduce leaves op's reduction of every rank's float64 buffer for region
+// name in all of them: ranks 1..n−1 send their buffers to rank 0, which
+// folds them into its own buffer in rank order with an ordinary compute
+// task — deterministic in its arguments, so the rank's selector may
 // replicate and the injector may corrupt it like any computation — and the
 // result is broadcast back down the binomial tree.
-func (w *World) AllreduceSum(tag int, name string, bufs []buffer.F64) {
+func (w *World) Allreduce(tag int, name string, bufs []buffer.F64, op ReduceOp) {
 	n := len(w.ranks)
 	if n == 1 {
 		return
@@ -131,13 +199,10 @@ func (w *World) AllreduceSum(tag int, name string, bufs []buffer.F64) {
 			0, rt.Out(tmpKey, tmp), root.tokArg())
 		redArgs = append(redArgs, rt.In(tmpKey, tmp))
 	}
-	root.rt.Submit("allreduce:sum", func(ctx *rt.Ctx) {
+	root.rt.Submit("allreduce", func(ctx *rt.Ctx) {
 		dst := ctx.F64(0)
 		for a := 1; a < ctx.NArgs(); a++ {
-			src := ctx.F64(a)
-			for j := range dst {
-				dst[j] += src[j]
-			}
+			op(dst, ctx.F64(a))
 		}
 	}, redArgs...)
 	bb := make([]buffer.Buffer, n)
@@ -145,4 +210,9 @@ func (w *World) AllreduceSum(tag int, name string, bufs []buffer.F64) {
 		bb[i] = b
 	}
 	w.Broadcast(0, tag, name, bb)
+}
+
+// AllreduceSum is Allreduce with OpSum.
+func (w *World) AllreduceSum(tag int, name string, bufs []buffer.F64) {
+	w.Allreduce(tag, name, bufs, OpSum)
 }

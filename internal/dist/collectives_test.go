@@ -129,6 +129,100 @@ func TestConcurrentSameTagBroadcasts(t *testing.T) {
 	}
 }
 
+func TestAllgatherRing(t *testing.T) {
+	// Non-power-of-two rank count; every rank's block is produced by a task
+	// the ring must wait for, and every rank must end with every block.
+	const ranks = 5
+	const blockLen = 3
+	w := NewWorld(Config{Ranks: ranks, RT: func(int) rt.Config { return rt.Config{Workers: 2} }})
+	name := func(j int) string { return "blk" + string(rune('0'+j)) }
+	bufs := make([][]buffer.Buffer, ranks)
+	for i := 0; i < ranks; i++ {
+		bufs[i] = make([]buffer.Buffer, ranks)
+		for j := 0; j < ranks; j++ {
+			bufs[i][j] = buffer.NewF64(blockLen)
+		}
+		i := i
+		w.Rank(i).Runtime().Submit("produce", func(ctx *rt.Ctx) {
+			x := ctx.F64(0)
+			for k := range x {
+				x[k] = float64(100*i + k)
+			}
+		}, rt.Out(name(i), bufs[i][i]))
+	}
+	w.Allgather(0, name, bufs)
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ranks; i++ {
+		for j := 0; j < ranks; j++ {
+			got := bufs[i][j].(buffer.F64)
+			for k := range got {
+				if got[k] != float64(100*j+k) {
+					t.Fatalf("rank %d block %d = %v", i, j, got)
+				}
+			}
+		}
+	}
+	// The ring moves exactly n(n-1) messages, all over neighbor links.
+	if got, want := w.MessagesSent(), uint64(ranks*(ranks-1)); got != want {
+		t.Fatalf("allgather sent %d messages, want %d", got, want)
+	}
+}
+
+func TestAllgatherSingleRankIsNoop(t *testing.T) {
+	w := NewWorld(Config{Ranks: 1})
+	b := buffer.F64{42}
+	w.Allgather(0, func(int) string { return "b" }, [][]buffer.Buffer{{b}})
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if w.MessagesSent() != 0 || b[0] != 42 {
+		t.Fatal("single-rank allgather must move nothing")
+	}
+}
+
+func TestAllreduceOps(t *testing.T) {
+	// Generic reduction: min, max and a user-supplied op over the same
+	// per-rank values, each in its own World.
+	const ranks = 4
+	vals := func(i int) buffer.F64 { return buffer.F64{float64(i + 1), -float64(i + 1)} }
+	cases := []struct {
+		name string
+		op   ReduceOp
+		want buffer.F64
+	}{
+		{"min", OpMin, buffer.F64{1, -4}},
+		{"max", OpMax, buffer.F64{4, -1}},
+		{"user-product", func(dst, src []float64) {
+			for j := range dst {
+				dst[j] *= src[j]
+			}
+		}, buffer.F64{24, 24}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld(Config{Ranks: ranks})
+			bufs := make([]buffer.F64, ranks)
+			for i := range bufs {
+				bufs[i] = vals(i)
+			}
+			w.Allreduce(0, "s", bufs, tc.op)
+			if err := w.Shutdown(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range bufs {
+				for j := range tc.want {
+					if bufs[i][j] != tc.want[j] {
+						t.Fatalf("rank %d = %v, want %v", i, bufs[i], tc.want)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestAllreduceSum(t *testing.T) {
 	const ranks = 3
 	w := NewWorld(Config{Ranks: ranks})

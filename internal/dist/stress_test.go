@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"appfit/internal/buffer"
+	"appfit/internal/rt"
+)
+
+// TestDirectShardedConcurrency hammers the sharded matcher directly (no
+// World): many sender/receiver goroutine pairs over many mailboxes, with
+// several mailboxes deliberately colliding on a shard, checking payloads
+// route and order correctly. Under -race this exercises the per-shard
+// lock/cond discipline.
+func TestDirectShardedConcurrency(t *testing.T) {
+	d := NewDirect()
+	const pairs = 200
+	const msgs = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, pairs)
+	for p := 0; p < pairs; p++ {
+		m := Match{Src: p, Dst: p + 1, Class: ClassP2P, Tag: p % 7}
+		wg.Add(2)
+		go func(m Match, p int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				d.Send(m, buffer.F64{float64(p), float64(i)})
+			}
+		}(m, p)
+		go func(m Match, p int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				b, err := d.Recv(m)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				got := b.(buffer.F64)
+				if got[0] != float64(p) || got[1] != float64(i) {
+					errs <- "payload routed to wrong mailbox or out of order"
+					return
+				}
+			}
+		}(m, p)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", d.Pending())
+	}
+}
+
+// TestWorld256RanksMixedTraffic is the scale gate from ROADMAP: a 256-rank
+// World over the sharded Direct transport running mixed traffic — ring
+// point-to-point halo exchange, a dissemination barrier (8 rounds at 256
+// ranks), a ring allgather of per-rank scalars, and an allreduce — all
+// concurrently in flight. Must pass under -race; sized so the race
+// detector's ~8k-goroutine budget and CI time are respected.
+func TestWorld256RanksMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-rank stress skipped in -short mode")
+	}
+	const n = 256
+	w := NewWorld(Config{Ranks: n})
+
+	// Phase 1: ring halo exchange — every rank sends its value right and
+	// receives its left neighbor's.
+	own := make([]buffer.F64, n)
+	halo := make([]buffer.F64, n)
+	for i := 0; i < n; i++ {
+		own[i] = buffer.F64{float64(i)}
+		halo[i] = buffer.NewF64(1)
+	}
+	for i := 0; i < n; i++ {
+		w.Rank(i).Send((i+1)%n, 0, "own", own[i])
+		w.Rank(i).Recv(((i-1)%n+n)%n, 0, "halo", halo[i])
+	}
+
+	// Phase 2: barrier, gated on the halo region so it orders after phase 1
+	// on every rank.
+	for i := 0; i < n; i++ {
+		w.Rank(i).Barrier(1, rt.In("halo", halo[i]))
+	}
+
+	// Phase 3: ring allgather of every rank's scalar.
+	name := func(j int) string { return "g" + string(rune(j)) }
+	gbufs := make([][]buffer.Buffer, n)
+	for i := 0; i < n; i++ {
+		gbufs[i] = make([]buffer.Buffer, n)
+		for j := 0; j < n; j++ {
+			if j == i {
+				gbufs[i][j] = buffer.F64{float64(100000 + i)}
+			} else {
+				gbufs[i][j] = buffer.NewF64(1)
+			}
+		}
+	}
+	w.Allgather(2, name, gbufs)
+
+	// Phase 4: allreduce-max over a per-rank scalar.
+	rbufs := make([]buffer.F64, n)
+	for i := 0; i < n; i++ {
+		rbufs[i] = buffer.F64{float64(i % 13)}
+	}
+	w.Allreduce(3, "r", rbufs, OpMax)
+
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		left := ((i-1)%n + n) % n
+		if halo[i][0] != float64(left) {
+			t.Fatalf("rank %d halo = %v, want %d", i, halo[i][0], left)
+		}
+		for j := 0; j < n; j++ {
+			if got := gbufs[i][j].(buffer.F64)[0]; got != float64(100000+j) {
+				t.Fatalf("rank %d allgather block %d = %v", i, j, got)
+			}
+		}
+		if rbufs[i][0] != 12 {
+			t.Fatalf("rank %d allreduce max = %v, want 12", i, rbufs[i][0])
+		}
+	}
+	// p2p n + barrier n·log2(n) + allgather n(n-1) + allreduce 2(n-1).
+	want := uint64(n + n*barrierRounds(n) + n*(n-1) + 2*(n-1))
+	if got := w.MessagesSent(); got != want {
+		t.Fatalf("sent %d messages, want %d", got, want)
+	}
+	if d, ok := w.Transport().(*Direct); ok && d.Pending() != 0 {
+		t.Fatalf("transport still holds %d messages", d.Pending())
+	}
+}

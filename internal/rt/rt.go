@@ -638,9 +638,11 @@ func (r *Runtime) execute(t *task, w int) {
 		r.cfg.Tracer.Add(rec)
 	}
 
-	// Release successors onto this worker's deque for locality.
-	for _, succ := range r.tracker.Complete(t.id) {
-		r.pool.Submit(w, succ)
+	// Release all successors onto this worker's deque in one batch: one
+	// lock acquisition and at most len(batch) targeted wakes per completion,
+	// instead of a lock+wake per successor.
+	if succs := r.tracker.Complete(t.id); len(succs) > 0 {
+		r.pool.SubmitBatch(w, succs)
 	}
 	r.mu.Lock()
 	delete(r.tasks, t.id)

@@ -29,6 +29,14 @@ func (d *Deque) PushBottom(v uint64) {
 	d.mu.Unlock()
 }
 
+// PushBottomBatch adds items at the owner end in order, under one lock
+// acquisition; the last item of vs is the first PopBottom returns.
+func (d *Deque) PushBottomBatch(vs []uint64) {
+	d.mu.Lock()
+	d.items = append(d.items, vs...)
+	d.mu.Unlock()
+}
+
 // PopBottom removes and returns the most recently pushed item.
 func (d *Deque) PopBottom() (uint64, bool) {
 	d.mu.Lock()
@@ -96,15 +104,40 @@ func (p *Pool) Workers() int { return len(p.deques) }
 func (p *Pool) Submit(worker int, v uint64) {
 	p.mu.Lock()
 	if worker >= 0 && worker < len(p.deques) {
-		p.pending++
-		p.mu.Unlock()
 		p.deques[worker].PushBottom(v)
-		p.mu.Lock()
 	} else {
 		p.global = append(p.global, v)
-		p.pending++
 	}
+	p.pending++
 	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// SubmitBatch enqueues all of vs — a completion's released successors,
+// typically — with one pool-lock acquisition and one deque-lock acquisition,
+// where per-item Submit would pay both len(vs) times. It wakes at most
+// min(len(vs), parked) workers: waking more could not find work, waking
+// fewer could strand a ready task behind a parked worker. Targeting rules
+// match Submit; order within vs is preserved (the deque owner pops the last
+// item first, thieves and the global queue drain from the front).
+func (p *Pool) SubmitBatch(worker int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if worker >= 0 && worker < len(p.deques) {
+		p.deques[worker].PushBottomBatch(vs)
+	} else {
+		p.global = append(p.global, vs...)
+	}
+	p.pending += len(vs)
+	wake := len(vs)
+	if wake > p.parked {
+		wake = p.parked
+	}
+	for ; wake > 0; wake-- {
+		p.cond.Signal()
+	}
 	p.mu.Unlock()
 }
 

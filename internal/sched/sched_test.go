@@ -199,6 +199,111 @@ func TestPoolOutOfRangeWorkerGoesGlobal(t *testing.T) {
 	}
 }
 
+func TestPoolSubmitBatchOrderAndAffinity(t *testing.T) {
+	p := NewPool(2)
+	p.SubmitBatch(1, []uint64{10, 11, 12})
+	// Owner pops LIFO: last released successor first (locality).
+	for want := uint64(12); want >= 10; want-- {
+		v, ok := p.Get(1)
+		if !ok || v != want {
+			t.Fatalf("Get = %d,%v want %d", v, ok, want)
+		}
+	}
+	p.SubmitBatch(-1, []uint64{20, 21})
+	// Global queue drains FIFO.
+	for want := uint64(20); want <= 21; want++ {
+		v, ok := p.Get(0)
+		if !ok || v != want {
+			t.Fatalf("global Get = %d,%v want %d", v, ok, want)
+		}
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", p.Pending())
+	}
+}
+
+func TestPoolSubmitBatchEmptyIsNoop(t *testing.T) {
+	p := NewPool(1)
+	p.SubmitBatch(0, nil)
+	if p.Pending() != 0 {
+		t.Fatal("empty batch must not change pending")
+	}
+}
+
+func TestPoolSubmitBatchWakesParkedWorkers(t *testing.T) {
+	// Four workers park on an empty pool; one batch of four must wake all of
+	// them (a single Signal would strand three with work available).
+	p := NewPool(4)
+	const n = 4
+	var consumed atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			if _, ok := p.Get(worker); ok {
+				consumed.Add(1)
+			}
+			// Block until every worker got exactly one item, so a worker
+			// cannot consume a second item on behalf of a stranded peer.
+			for consumed.Load() < n {
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let all workers park
+	p.SubmitBatch(-1, []uint64{1, 2, 3, 4})
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("batch woke only %d of %d parked workers", consumed.Load(), n)
+	}
+	p.Close()
+}
+
+func TestPoolSubmitBatchConcurrentNoLossNoDup(t *testing.T) {
+	p := NewPool(4)
+	const batches = 2000
+	const batchLen = 5
+	var got sync.Map
+	var taken atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				v, ok := p.Get(worker)
+				if !ok {
+					return
+				}
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Errorf("duplicate item %d", v)
+					return
+				}
+				taken.Add(1)
+			}
+		}(w)
+	}
+	for i := 0; i < batches; i++ {
+		vs := make([]uint64, batchLen)
+		for j := range vs {
+			vs[j] = uint64(i*batchLen + j + 1)
+		}
+		p.SubmitBatch(i%5-1, vs) // mix of global (-1) and worker-targeted
+	}
+	for p.Pending() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	p.Close()
+	wg.Wait()
+	if taken.Load() != batches*batchLen {
+		t.Fatalf("consumed %d of %d", taken.Load(), batches*batchLen)
+	}
+}
+
 func BenchmarkPoolSubmitGet(b *testing.B) {
 	p := NewPool(1)
 	for i := 0; i < b.N; i++ {
