@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-figures bench-scale bench-build build-examples run-examples
+.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples
 
-check: vet race build-examples bench-build
+check: vet race race-comm build-examples bench-build
+
+# The communicator-isolation gate, named explicitly so `make check` always
+# runs it under -race even if the full race suite is trimmed: two Split
+# groups plus a same-members alias communicator carrying identical tags at
+# 64 ranks must never cross-match (`race` runs it too; -count=1 defeats the
+# test cache so this target always re-executes it).
+race-comm:
+	$(GO) test -race -count=1 -run 'TestCommContextIsolation64Ranks' ./internal/dist
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +43,15 @@ bench-scale:
 # iteration, catching drift that `go vet` and unit tests cannot see.
 bench-build:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/bench/scale
+
+# Regression guard: rerun the scale suite into a fresh JSON and fail if any
+# benchmark regressed more than 25% in ns/op against the committed
+# BENCH_scale.json baseline. Run on hardware comparable to the baseline's
+# recorded cpu: field — the threshold absorbs noise, not machine changes.
+bench-compare:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=0.5s ./internal/bench/scale \
+		| $(GO) run ./cmd/benchjson -suite scale -out /tmp/BENCH_scale.new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_scale.json /tmp/BENCH_scale.new.json
 
 # Compile every example and command entry point; catches facade drift that
 # package tests cannot see.

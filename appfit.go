@@ -14,6 +14,14 @@
 // executed twice, compared bitwise, and recovered by re-execution and
 // majority vote when a silent data corruption or crash is detected.
 //
+// Distributed programs (the paper's OmpSs+MPI hybrid, §III) run on a World
+// of in-process ranks and communicate through communicators: World.Comm is
+// the world communicator, Comm.Split derives isolated sub-groups with
+// densely re-numbered ranks (MPI_Comm_split style), and all point-to-point
+// operations and collectives — Barrier, Broadcast, Allgather, Allreduce,
+// ReduceScatter — are Comm-scoped, so two groups can never cross-match each
+// other's traffic even with identical tags.
+//
 // Quick start:
 //
 //	sel := appfit.NewAppFIT(thresholdFIT, totalTasks)
@@ -157,7 +165,7 @@ func NewTracer() *Tracer { return trace.New() }
 
 // World is the distributed substrate (the OmpSs+MPI hybrid model, §III):
 // in-process ranks, each with its own Runtime, exchanging messages through
-// dependency-gated send/receive tasks.
+// dependency-gated send/receive tasks scoped to communicators.
 type World = dist.World
 
 // WorldConfig configures a World.
@@ -165,3 +173,35 @@ type WorldConfig = dist.Config
 
 // NewWorld starts a distributed world of communicating ranks.
 func NewWorld(cfg WorldConfig) *World { return dist.NewWorld(cfg) }
+
+// Comm is a communicator: the handle all distributed communication goes
+// through. World.Comm returns the world communicator; Comm.Split derives
+// isolated sub-communicators with densely re-numbered ranks and a private
+// matching context.
+type Comm = dist.Comm
+
+// CommRank is one member's view of a communicator: comm-local rank plus
+// the underlying world rank; point-to-point Send/Recv live here.
+type CommRank = dist.CommRank
+
+// ReduceOp combines src into dst element-wise in Allreduce/ReduceScatter;
+// it must be deterministic in its arguments.
+type ReduceOp = dist.ReduceOp
+
+// Predefined commutative reduction operators.
+var (
+	OpSum = dist.OpSum
+	OpMin = dist.OpMin
+	OpMax = dist.OpMax
+)
+
+// Named argument errors of the distributed layer: out-of-range rank
+// indices and malformed Comm.Split arguments are reported as wrapped named
+// errors instead of panics.
+var (
+	ErrRankOutOfRange = dist.ErrRankOutOfRange
+	ErrSplitSize      = dist.ErrSplitSize
+	ErrSplitColor     = dist.ErrSplitColor
+	ErrSplitKey       = dist.ErrSplitKey
+	ErrCollectiveArgs = dist.ErrCollectiveArgs
+)

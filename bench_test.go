@@ -10,6 +10,7 @@
 package appfit_test
 
 import (
+	"fmt"
 	"testing"
 
 	"appfit/internal/bench"
@@ -17,6 +18,7 @@ import (
 	"appfit/internal/buffer"
 	"appfit/internal/cluster"
 	"appfit/internal/core"
+	"appfit/internal/dist"
 	"appfit/internal/experiments"
 	"appfit/internal/fault"
 	"appfit/internal/fit"
@@ -211,6 +213,35 @@ func BenchmarkAblationStaleness(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkHaloWorld drives the reusable workload halo exchange (the
+// pattern behind examples/hybrid_pingpong and the paper's Figure 6
+// communication shape) on a real distributed World end to end — build,
+// drain, verify against the serial reference — so the figure's traffic can
+// be produced by real dist execution, not only the cluster simulator.
+func BenchmarkHaloWorld(b *testing.B) {
+	for _, ranks := range []int{4, 8} {
+		ranks := ranks
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			var msgs uint64
+			for i := 0; i < b.N; i++ {
+				w := dist.NewWorld(dist.Config{Ranks: ranks})
+				h, err := workload.BuildHalo(w.Comm(), workload.HaloConfig{Iters: 8, N: 1024})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Shutdown(); err != nil {
+					b.Fatal(err)
+				}
+				if err := h.Verify(); err != nil {
+					b.Fatal(err)
+				}
+				msgs = w.MessagesSent()
+			}
+			b.ReportMetric(float64(msgs), "msgs/world")
+		})
+	}
 }
 
 // BenchmarkClusterSimThroughput measures the virtual-time engine itself:

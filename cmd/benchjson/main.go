@@ -5,6 +5,12 @@
 //
 //	go test -run='^$' -bench=. -benchmem ./internal/bench/scale | \
 //	    go run ./cmd/benchjson -suite scale -out BENCH_scale.json
+//
+// With -compare it instead diffs two baseline files and exits non-zero
+// when any benchmark's ns/op regressed beyond -threshold percent — the CI
+// guard `make bench-compare` runs against the committed baseline:
+//
+//	go run ./cmd/benchjson -compare BENCH_scale.json BENCH_scale.new.json
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,7 +50,17 @@ type Baseline struct {
 func main() {
 	suite := flag.String("suite", "scale", "suite name recorded in the JSON")
 	out := flag.String("out", "", "output file (default stdout only)")
+	compare := flag.Bool("compare", false, "compare two baseline files (old new) instead of parsing stdin")
+	threshold := flag.Float64("threshold", 25, "with -compare: fail on ns/op regressions beyond this percent")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareBaselines(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	base := Baseline{Suite: *suite}
 	failed := false
@@ -96,6 +113,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(base.Benchmarks), *out)
+}
+
+// compareBaselines diffs new against old and returns the exit code: 0 when
+// every benchmark present in both stayed within threshold percent of its
+// old ns/op, 1 when any regressed beyond it. Benchmarks that appear on only
+// one side are reported but not failed — suites grow and rotate; only a
+// measured regression of a still-existing benchmark should gate.
+func compareBaselines(oldPath, newPath string, threshold float64) int {
+	load := func(path string) (map[string]float64, bool) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return nil, false
+		}
+		var b Baseline
+		if err := json.Unmarshal(raw, &b); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			return nil, false
+		}
+		m := make(map[string]float64, len(b.Benchmarks))
+		for _, bm := range b.Benchmarks {
+			if v, ok := bm.Metrics["ns/op"]; ok {
+				m[bm.Name] = v
+			}
+		}
+		return m, true
+	}
+	oldNs, ok := load(oldPath)
+	if !ok {
+		return 2
+	}
+	newNs, ok := load(newPath)
+	if !ok {
+		return 2
+	}
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := 0
+	for _, name := range names {
+		ov := oldNs[name]
+		nv, ok := newNs[name]
+		if !ok {
+			fmt.Printf("MISSING  %-60s (in %s only)\n", name, oldPath)
+			continue
+		}
+		pct := (nv - ov) / ov * 100
+		switch {
+		case ov > 0 && pct > threshold:
+			regressed++
+			fmt.Printf("REGRESS  %-60s %12.1f -> %12.1f ns/op (%+.1f%% > %.0f%%)\n", name, ov, nv, pct, threshold)
+		default:
+			fmt.Printf("ok       %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", name, ov, nv, pct)
+		}
+	}
+	for name := range newNs {
+		if _, ok := oldNs[name]; !ok {
+			fmt.Printf("NEW      %-60s %12.1f ns/op\n", name, newNs[name])
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", regressed, threshold)
+		return 1
+	}
+	fmt.Printf("benchjson: no regression beyond %.0f%% across %d benchmark(s)\n", threshold, len(names))
+	return 0
 }
 
 // parseLine parses one `BenchmarkName-N  iters  v1 u1  v2 u2 ...` line.

@@ -57,19 +57,45 @@ func ExampleNewAppFIT() {
 }
 
 // ExampleNewWorld shows the distributed (OmpSs+MPI style) substrate: two
-// ranks exchanging a block through dependency-gated send/receive tasks.
+// ranks exchanging a block through dependency-gated send/receive tasks on
+// the world communicator.
 func ExampleNewWorld() {
 	w := appfit.NewWorld(appfit.WorldConfig{Ranks: 2})
+	c := w.Comm()
 	src := appfit.F64{42}
 	dst := appfit.NewF64(1)
-	w.Rank(0).Send(1, 0, "s", src)
-	w.Rank(1).Recv(0, 0, "d", dst)
+	c.Rank(0).Send(1, 0, "s", src)
+	c.Rank(1).Recv(0, 0, "d", dst)
 	if err := w.Shutdown(); err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	fmt.Println(dst[0])
 	// Output: 42
+}
+
+// ExampleComm_Split derives two isolated sub-communicators by color and
+// runs a reduction in each: comm ranks are densely re-numbered by key, the
+// groups share a tag, and the private matching context of each group
+// guarantees their traffic can never cross.
+func ExampleComm_Split() {
+	w := appfit.NewWorld(appfit.WorldConfig{Ranks: 4})
+	colors := []int{0, 1, 0, 1} // evens and odds
+	keys := []int{0, 0, 1, 1}
+	subs, err := w.Comm().Split(colors, keys)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	vals := []appfit.F64{{1}, {10}, {2}, {20}}
+	subs[0].AllreduceSum(0, "s", []appfit.F64{vals[0], vals[2]})
+	subs[1].AllreduceSum(0, "s", []appfit.F64{vals[1], vals[3]})
+	if err := w.Shutdown(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(vals[0][0], vals[1][0], vals[2][0], vals[3][0])
+	// Output: 3 30 3 30
 }
 
 // ExampleNewWorld_pingpong is a deterministic miniature of
@@ -90,16 +116,17 @@ func ExampleNewWorld_pingpong() {
 			}
 		},
 	})
+	c := w.Comm()
 	local := []appfit.F64{{0}, {100}}
 	remote := []appfit.F64{appfit.NewF64(1), appfit.NewF64(1)}
 	for it := 0; it < iters; it++ {
 		for rk := 0; rk < 2; rk++ {
 			rk := rk
-			w.Rank(rk).Runtime().Submit("relax", func(ctx *appfit.Ctx) {
+			c.Rank(rk).Runtime().Submit("relax", func(ctx *appfit.Ctx) {
 				ctx.F64(0)[0] = (ctx.F64(0)[0] + ctx.F64(1)[0]) / 2
 			}, appfit.Inout("local", local[rk]), appfit.In("remote", remote[rk]))
-			w.Rank(rk).Send(1-rk, it, "local", local[rk])
-			w.Rank(rk).Recv(1-rk, it, "remote", remote[rk])
+			c.Rank(rk).Send(1-rk, it, "local", local[rk])
+			c.Rank(rk).Recv(1-rk, it, "remote", remote[rk])
 		}
 	}
 	if err := w.Shutdown(); err != nil {

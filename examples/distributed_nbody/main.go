@@ -6,13 +6,17 @@
 //
 // Part 2 — the same blocked algorithm running for real on the distributed
 // World (internal/dist): one rank per block, each rank its own dataflow
-// runtime under complete replication with injected faults, positions
-// allgathered every step through the dependency-gated ring collective over
-// a simnet-backed transport that charges every message Marenostrum-class
-// latency and bandwidth. The final positions must match the serial
-// reference bitwise: replication recovers every injected fault and the
-// communication tasks are never replicated, so no message is ever
-// duplicated.
+// runtime under complete replication with injected faults, over a
+// simnet-backed transport that charges every message Marenostrum-class
+// latency and bandwidth. The ranks form a 2×2 grid split into row and
+// column sub-communicators (Comm.Split), and positions move hierarchically
+// every step — a ring allgather inside each row, then ring allgathers
+// inside each column forwarding the row-collected blocks — so every
+// transfer rides a row or column neighbor link instead of the full n²
+// all-to-all ring, the topology-aware shape hierarchical collectives take
+// on a real fabric. The final positions must match the serial reference
+// bitwise: replication recovers every injected fault and the communication
+// tasks are never replicated, so no message is ever duplicated.
 //
 //	go run ./examples/distributed_nbody
 package main
@@ -80,7 +84,9 @@ func virtualScaling() {
 
 func worldRun() {
 	const (
-		ranks = 4  // one block per rank
+		gridR = 2 // rank grid rows
+		gridC = 2 // rank grid columns: rank rk sits at (rk/gridC, rk%gridC)
+		ranks = gridR * gridC
 		b     = 64 // bodies per block
 		steps = 3
 	)
@@ -99,22 +105,42 @@ func worldRun() {
 		},
 	})
 
+	// Split the world into row and column sub-communicators: rows[rk] is
+	// rank rk's row group (comm rank = its column), cols[rk] its column
+	// group (comm rank = its row). Each Split mints a fresh matching
+	// context, so row and column plumbing can reuse tags without ever
+	// cross-matching.
+	c := w.Comm()
+	rowColors := make([]int, ranks)
+	rowKeys := make([]int, ranks)
+	colColors := make([]int, ranks)
+	colKeys := make([]int, ranks)
+	for rk := 0; rk < ranks; rk++ {
+		rowColors[rk], rowKeys[rk] = rk/gridC, rk%gridC
+		colColors[rk], colKeys[rk] = rk%gridC, rk/gridC
+	}
+	rows, err := c.Split(rowColors, rowKeys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cols, err := c.Split(colColors, colKeys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Rank rk owns block rk (positions + velocities) and holds ghost copies
-	// of every other block's positions, refreshed by allgather each step.
+	// of every other block's positions, refreshed hierarchically each step.
 	pk := func(j int) string { return fmt.Sprintf("pos[%d]", j) }
 	pos := make([][]buffer.F64, ranks) // pos[rk][j]: rank rk's copy of block j
 	vel := make([]buffer.F64, ranks)
 	acc := make([]buffer.F64, ranks)
 	pacc := make([][]buffer.F64, ranks) // pacc[rk][j]: partial forces of block j on block rk
-	posBufs := make([][]buffer.Buffer, ranks)
 	for rk := 0; rk < ranks; rk++ {
 		pos[rk] = make([]buffer.F64, ranks)
 		pacc[rk] = make([]buffer.F64, ranks)
-		posBufs[rk] = make([]buffer.Buffer, ranks)
 		for j := 0; j < ranks; j++ {
 			pos[rk][j] = buffer.NewF64(3 * b)
 			pacc[rk][j] = buffer.NewF64(3 * b)
-			posBufs[rk][j] = pos[rk][j]
 		}
 		nbody.InitBlock(pos[rk][rk], rk, b)
 		vel[rk] = buffer.NewF64(3 * b)
@@ -122,11 +148,39 @@ func worldRun() {
 	}
 
 	for step := 0; step < steps; step++ {
-		// Allgather: the first-class ring collective circulates every rank's
-		// post-integration block over neighbor links; each rank's first send
-		// reads its own region, so it gates on the previous step's integrate,
-		// and the receives write the ghost regions the force tasks read.
-		w.Allgather(step, pk, posBufs)
+		// Phase A — row allgather: after it, rank (r, j) holds every block
+		// of row r. Each member's first send reads its own post-integration
+		// region, so the ring gates on the previous step's integrate.
+		for r := 0; r < gridR; r++ {
+			rc := rows[r*gridC]
+			bufsRow := make([][]buffer.Buffer, gridC)
+			for j := 0; j < gridC; j++ {
+				rk := r*gridC + j
+				bufsRow[j] = make([]buffer.Buffer, gridC)
+				for j2 := 0; j2 < gridC; j2++ {
+					bufsRow[j][j2] = pos[rk][r*gridC+j2]
+				}
+			}
+			rc.Allgather(step, func(j int) string { return pk(r*gridC + j) }, bufsRow)
+		}
+		// Phase B — column allgathers: for each block-column bc, column
+		// comm member i forwards block (i, bc) it collected in phase A, so
+		// every rank ends holding every block; the forwarding sends are
+		// dataflow-gated on the phase-A receives that wrote those regions.
+		for cp := 0; cp < gridC; cp++ {
+			cc := cols[cp]
+			for bc := 0; bc < gridC; bc++ {
+				bufsCol := make([][]buffer.Buffer, gridR)
+				for i := 0; i < gridR; i++ {
+					rk := i*gridC + cp
+					bufsCol[i] = make([]buffer.Buffer, gridR)
+					for i2 := 0; i2 < gridR; i2++ {
+						bufsCol[i][i2] = pos[rk][i2*gridC+bc]
+					}
+				}
+				cc.Allgather(step*gridC+bc, func(j int) string { return pk(j*gridC + bc) }, bufsCol)
+			}
+		}
 		for rk := 0; rk < ranks; rk++ {
 			for j := 0; j < ranks; j++ {
 				j := j
@@ -166,15 +220,16 @@ func worldRun() {
 		}
 	}
 
-	fmt.Printf("nbody on the World: %d ranks × %d bodies, %d steps, complete replication, injected faults\n",
-		ranks, b, steps)
+	fmt.Printf("nbody on the World: %d×%d rank grid × %d bodies, %d steps, complete replication, injected faults\n",
+		gridR, gridC, b, steps)
+	fmt.Println("positions move hierarchically: row allgather, then column allgathers of the row-collected blocks")
 	fmt.Printf("%-6s %-12s %-12s %s\n", "rank", "replicated", "reexecs", "faults recovered")
 	for rk := 0; rk < ranks; rk++ {
 		st := w.Rank(rk).Stats()
 		fmt.Printf("%-6d %-12d %-12d sdc:%d due:%d\n", rk,
 			st.Replicated, st.Reexecutions, st.SDCRecovered, st.DUERecovered)
 	}
-	fmt.Printf("messages sent: %d (allgather rings, never duplicated by replication)\n", w.MessagesSent())
+	fmt.Printf("messages sent: %d (row/column allgather rings, never duplicated by replication)\n", w.MessagesSent())
 	fmt.Printf("fabric charge: %d bytes in %.1f µs of virtual Marenostrum time\n",
 		sim.BytesSent(), sim.Now().Seconds()*1e6)
 	fmt.Printf("bitwise identical to serial reference: %v\n", exact)

@@ -1,9 +1,11 @@
 // Hybrid dataflow + message passing (the paper's OmpSs+MPI model, §III):
 // four ranks, each its own dataflow runtime, compute under App_FIT selective
 // replication with injected faults and exchange halo blocks with their pair
-// partner every iteration. Communication tasks gate on the dataflow
-// dependencies, overlapping transfers with computation; they are never
-// replicated (a replica would duplicate the message).
+// partner every iteration. The pattern itself is the reusable
+// internal/bench/workload halo exchange, built against the communicator
+// API: communication tasks gate on the dataflow dependencies, overlapping
+// transfers with computation, and are never replicated (a replica would
+// duplicate the message).
 //
 //	go run ./examples/hybrid_pingpong
 package main
@@ -12,7 +14,7 @@ import (
 	"fmt"
 	"log"
 
-	"appfit/internal/buffer"
+	"appfit/internal/bench/workload"
 	"appfit/internal/core"
 	"appfit/internal/dist"
 	"appfit/internal/fault"
@@ -47,33 +49,14 @@ func main() {
 		},
 	})
 
-	local := make([]buffer.F64, ranks)
-	remote := make([]buffer.F64, ranks)
-	for rk := 0; rk < ranks; rk++ {
-		local[rk] = buffer.NewF64(n)
-		remote[rk] = buffer.NewF64(n)
-		for i := range local[rk] {
-			local[rk][i] = float64(rk)
-		}
-	}
-
-	for it := 0; it < iters; it++ {
-		for rk := 0; rk < ranks; rk++ {
-			partner := rk ^ 1
-			// Compute: relax the local block toward the partner state
-			// received last iteration.
-			w.Rank(rk).Runtime().Submit("relax", func(ctx *rt.Ctx) {
-				mine, theirs := ctx.F64(0), ctx.F64(1)
-				for i := range mine {
-					mine[i] = (mine[i]+theirs[i])/2 + 1
-				}
-			}, rt.Inout("local", local[rk]), rt.In("remote", remote[rk]))
-			// Exchange for the next iteration.
-			w.Rank(rk).Send(partner, it, "local", local[rk])
-			w.Rank(rk).Recv(partner, it, "remote", remote[rk])
-		}
+	h, err := workload.BuildHalo(w.Comm(), workload.HaloConfig{Iters: iters, N: n})
+	if err != nil {
+		log.Fatal(err)
 	}
 	if err := w.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Verify(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -84,7 +67,7 @@ func main() {
 			fmt.Sprintf("%d/%d", st.Replicated, iters),
 			fmt.Sprintf("sdc:%d due:%d", st.SDCRecovered, st.DUERecovered),
 			fmt.Sprintf("%.3g <= %.3g", selectors[rk].CurrentFIT(), selectors[rk].Threshold()),
-			local[rk][0])
+			h.Local[rk][0])
 	}
 	fmt.Printf("messages sent: %d (= ranks × iters; replication never duplicated one)\n",
 		w.MessagesSent())

@@ -280,14 +280,15 @@ func worldTraffic(b *testing.B, ranks int, mk func() dist.Transport) uint64 {
 		halo[i] = buffer.NewF64(1)
 		red[i] = buffer.F64{float64(i)}
 	}
+	c := w.Comm()
 	for i := 0; i < ranks; i++ {
-		w.Rank(i).Send((i+1)%ranks, 0, "own", own[i])
-		w.Rank(i).Recv(((i-1)%ranks+ranks)%ranks, 0, "halo", halo[i])
+		c.Rank(i).Send((i+1)%ranks, 0, "own", own[i])
+		c.Rank(i).Recv(((i-1)%ranks+ranks)%ranks, 0, "halo", halo[i])
 	}
 	for i := 0; i < ranks; i++ {
-		w.Rank(i).Barrier(1, rt.In("halo", halo[i]))
+		c.Rank(i).Barrier(1, rt.In("halo", halo[i]))
 	}
-	w.AllreduceSum(2, "red", red)
+	c.AllreduceSum(2, "red", red)
 	if err := w.Shutdown(); err != nil {
 		b.Fatal(err)
 	}
@@ -295,6 +296,46 @@ func worldTraffic(b *testing.B, ranks int, mk func() dist.Transport) uint64 {
 		b.Fatalf("world traffic produced wrong data: halo %v red %v", halo[0][0], red[0][0])
 	}
 	return w.MessagesSent()
+}
+
+// BenchmarkAllreduceTreeVsGather records the trade-off behind the
+// Allreduce crossover (dist.TreeAllreduceCrossover): the same long-vector
+// reduction on one World, once through the gather+broadcast algorithm that
+// funnels every vector through member 0, once through the
+// recursive-doubling tree whose members fold in parallel. One op is a
+// whole World lifetime, as in BenchmarkWorldScale.
+func BenchmarkAllreduceTreeVsGather(b *testing.B) {
+	const vlen = 4096
+	algos := []struct {
+		name string
+		run  func(c *dist.Comm, bufs []buffer.F64)
+	}{
+		{"gather", func(c *dist.Comm, bufs []buffer.F64) { c.AllreduceGather(0, "v", bufs, dist.OpSum) }},
+		{"tree", func(c *dist.Comm, bufs []buffer.F64) { c.AllreduceTree(0, "v", bufs, dist.OpSum) }},
+	}
+	for _, algo := range algos {
+		for _, ranks := range []int{8, 32} {
+			algo, ranks := algo, ranks
+			b.Run(fmt.Sprintf("%s/ranks=%d", algo.name, ranks), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w := dist.NewWorld(dist.Config{Ranks: ranks})
+					bufs := make([]buffer.F64, ranks)
+					for r := range bufs {
+						bufs[r] = buffer.NewF64(vlen)
+						bufs[r][0] = 1
+					}
+					algo.run(w.Comm(), bufs)
+					if err := w.Shutdown(); err != nil {
+						b.Fatal(err)
+					}
+					if bufs[0][0] != float64(ranks) {
+						b.Fatalf("allreduce sum = %v, want %d", bufs[0][0], ranks)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkWorldScale runs the mixed-traffic World at 64/128/256 ranks over

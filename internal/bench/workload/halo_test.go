@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"appfit/internal/core"
+	"appfit/internal/dist"
+	"appfit/internal/fault"
+	"appfit/internal/rt"
+)
+
+func TestHaloMatchesSerialUnderFaults(t *testing.T) {
+	const ranks = 4
+	w := dist.NewWorld(dist.Config{Ranks: ranks, RT: func(rank int) rt.Config {
+		return rt.Config{
+			Workers:  2,
+			Selector: core.ReplicateAll{},
+			Injector: fault.NewFixedRate(uint64(rank)*7+1, 0.05, 0.05),
+		}
+	}})
+	h, err := BuildHalo(w.Comm(), HaloConfig{Iters: 6, N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MessagesSent(); got != h.Messages() {
+		t.Fatalf("MessagesSent = %d, want %d (replication must never duplicate a message)", got, h.Messages())
+	}
+}
+
+func TestHaloOnSubcommunicator(t *testing.T) {
+	// The pattern is comm-scoped: build it on a 4-member subgroup of a
+	// 6-rank world and the other two ranks stay untouched.
+	w := dist.NewWorld(dist.Config{Ranks: 6})
+	colors := []int{0, 0, 1, 0, 0, 1}
+	keys := []int{0, 1, 0, 2, 3, 1}
+	subs, err := w.Comm().Split(colors, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := BuildHalo(subs[0], HaloConfig{Iters: 3, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MessagesSent(); got != h.Messages() {
+		t.Fatalf("MessagesSent = %d, want %d", got, h.Messages())
+	}
+}
+
+func TestHaloRejectsOddComm(t *testing.T) {
+	w := dist.NewWorld(dist.Config{Ranks: 3})
+	if _, err := BuildHalo(w.Comm(), HaloConfig{}); !errors.Is(err, ErrOddHalo) {
+		t.Fatalf("BuildHalo on 3 members: %v, want ErrOddHalo", err)
+	}
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

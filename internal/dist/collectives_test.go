@@ -27,7 +27,7 @@ func TestBarrierOrdersAllRanks(t *testing.T) {
 			time.Sleep(time.Duration(rk) * 2 * time.Millisecond)
 			flags[rk].Store(true)
 		}, rt.Inout("x", tok[rk]))
-		w.Rank(rk).Barrier(1, rt.Inout("x", tok[rk]))
+		w.Comm().Rank(rk).Barrier(1, rt.Inout("x", tok[rk]))
 		w.Rank(rk).Runtime().Submit("check", func(ctx *rt.Ctx) {
 			n := int32(0)
 			for i := range flags {
@@ -57,7 +57,7 @@ func TestWorldBarrierConsecutive(t *testing.T) {
 	const ranks = 4
 	w := NewWorld(Config{Ranks: ranks})
 	for tag := 0; tag < 3; tag++ {
-		w.Barrier(tag)
+		w.Comm().Barrier(tag)
 	}
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestBroadcastFromEveryRoot(t *testing.T) {
 				x[i] = float64(100*root + i)
 			}
 		}, rt.Out("b", bufs[root]))
-		w.Broadcast(root, 0, "b", bufs)
+		w.Comm().Broadcast(root, 0, "b", bufs)
 		if err := w.Shutdown(); err != nil {
 			t.Fatalf("root %d: %v", root, err)
 		}
@@ -116,8 +116,8 @@ func TestConcurrentSameTagBroadcasts(t *testing.T) {
 	}
 	a[0].(buffer.F64)[0] = 111
 	b[3].(buffer.F64)[0] = 333
-	w.Broadcast(0, 7, "a", a)
-	w.Broadcast(3, 7, "b", b)
+	w.Comm().Broadcast(0, 7, "a", a)
+	w.Comm().Broadcast(3, 7, "b", b)
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestAllgatherRing(t *testing.T) {
 			}
 		}, rt.Out(name(i), bufs[i][i]))
 	}
-	w.Allgather(0, name, bufs)
+	w.Comm().Allgather(0, name, bufs)
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestAllgatherRing(t *testing.T) {
 func TestAllgatherSingleRankIsNoop(t *testing.T) {
 	w := NewWorld(Config{Ranks: 1})
 	b := buffer.F64{42}
-	w.Allgather(0, func(int) string { return "b" }, [][]buffer.Buffer{{b}})
+	w.Comm().Allgather(0, func(int) string { return "b" }, [][]buffer.Buffer{{b}})
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestAllreduceOps(t *testing.T) {
 			for i := range bufs {
 				bufs[i] = vals(i)
 			}
-			w.Allreduce(0, "s", bufs, tc.op)
+			w.Comm().Allreduce(0, "s", bufs, tc.op)
 			if err := w.Shutdown(); err != nil {
 				t.Fatal(err)
 			}
@@ -230,7 +230,7 @@ func TestAllreduceSum(t *testing.T) {
 	for i := range bufs {
 		bufs[i] = buffer.F64{float64(i + 1), 10 * float64(i+1)}
 	}
-	w.AllreduceSum(0, "s", bufs)
+	w.Comm().AllreduceSum(0, "s", bufs)
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestAllreduceSumUnderReplication(t *testing.T) {
 	for i := range bufs {
 		bufs[i] = buffer.F64{1}
 	}
-	w.AllreduceSum(0, "s", bufs)
+	w.Comm().AllreduceSum(0, "s", bufs)
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}

@@ -11,18 +11,23 @@
 // never corrupts them, because the paper delegates communication failures to
 // complementary message-logging protocols (§VI).
 //
+// All communication is scoped to a communicator (see comm.go): World.Comm
+// returns the world communicator spanning every rank, and Comm.Split
+// derives isolated sub-groups with densely re-numbered ranks, MPI style.
 // Message matching is MPI-flavored: a Recv matches the oldest pending Send
-// with the same (source, destination, tag) triple; payloads are snapshots
-// taken when the send task fires, so the sender may immediately reuse its
-// buffer. The matching and movement of payloads is delegated to a pluggable
-// Transport (see transport.go): Direct for pure in-process exchange, Sim to
-// charge every message latency and bandwidth on a modeled interconnect.
+// with the same (context, source, destination, tag) tuple; payloads are
+// snapshots taken when the send task fires, so the sender may immediately
+// reuse its buffer. The matching and movement of payloads is delegated to a
+// pluggable Transport (see transport.go): Direct for pure in-process
+// exchange, Sim to charge every message latency and bandwidth on a modeled
+// interconnect.
 //
-// On top of point-to-point, the package provides dependency-gated
-// collectives — Barrier (dissemination), Broadcast (binomial tree) and
-// AllreduceSum (gather + local reduction + broadcast) — built from the same
-// comm-task primitive, so they overlap with computation under exactly the
-// dataflow rules the paper's hybrid applications rely on.
+// On top of point-to-point, communicators provide dependency-gated
+// collectives — Barrier (dissemination), Broadcast (binomial tree),
+// Allgather (ring), Allreduce (gather+broadcast or recursive-doubling tree,
+// auto-selected by vector length) and ReduceScatter (ring) — built from the
+// same comm-task primitive, so they overlap with computation under exactly
+// the dataflow rules the paper's hybrid applications rely on.
 package dist
 
 import (
@@ -47,12 +52,16 @@ type Config struct {
 	Transport Transport
 }
 
-// World is a set of communicating ranks. Create with NewWorld, address ranks
-// with Rank, and finish with Shutdown, which drains every rank's dataflow
+// World is a set of communicating ranks. Create with NewWorld, communicate
+// through Comm (the world communicator, or sub-communicators derived with
+// Comm.Split), and finish with Shutdown, which drains every rank's dataflow
 // graph and aggregates their errors.
 type World struct {
 	tr    Transport
 	ranks []*Rank
+	world *Comm
+	// nextCtx mints communicator context ids; 0 is the world communicator.
+	nextCtx atomic.Uint64
 
 	sent atomic.Uint64
 
@@ -68,9 +77,6 @@ type Rank struct {
 	w  *World
 	id int
 	rt *rt.Runtime
-	// tok serializes collective plumbing tasks on this rank through an
-	// Inout access on a reserved region (see collKey).
-	tok buffer.U8
 	// parked counts this rank's receive tasks currently waiting in the
 	// transport; the shutdown watchdog compares it against the runtime's
 	// executing count to detect receives that can never match.
@@ -93,16 +99,26 @@ func NewWorld(cfg Config) *World {
 		if cfg.RT != nil {
 			rc = cfg.RT(i)
 		}
-		w.ranks[i] = &Rank{w: w, id: i, rt: rt.New(rc), tok: buffer.U8{0}}
+		w.ranks[i] = &Rank{w: w, id: i, rt: rt.New(rc)}
 	}
+	w.world = newComm(w, 0, w.ranks)
 	return w
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
 
-// Rank returns rank i.
-func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+// Rank returns rank i, for per-rank runtime access (submit compute tasks,
+// read stats). An out-of-range i records ErrRankOutOfRange in the World's
+// error set (reported by Err and Shutdown) and returns nil instead of
+// panicking.
+func (w *World) Rank(i int) *Rank {
+	if i < 0 || i >= len(w.ranks) {
+		w.addErr(fmt.Errorf("dist: World.Rank(%d) of %d ranks: %w", i, len(w.ranks), ErrRankOutOfRange))
+		return nil
+	}
+	return w.ranks[i]
+}
 
 // Transport returns the world's transport (e.g. to read *Sim accounting).
 func (w *World) Transport() Transport { return w.tr }
@@ -239,23 +255,24 @@ func (r *Rank) Runtime() *rt.Runtime { return r.rt }
 // Stats returns the rank's runtime counters.
 func (r *Rank) Stats() rt.Stats { return r.rt.Stats() }
 
-// Send submits a communication task that ships a snapshot of buf to partner
-// under tag once every prior task writing region name has completed. The
-// send is eager: it buffers the snapshot in the transport and completes
-// without waiting for the matching Recv. It returns the task id.
+// Send ships a snapshot of buf to partner under tag on the world
+// communicator.
+//
+// Deprecated: use World.Comm().Rank(i).Send — communication is
+// communicator-scoped; this thin wrapper delegates to the world
+// communicator and exists for transition only.
 func (r *Rank) Send(partner, tag int, name string, buf buffer.Buffer) uint64 {
-	m := Match{Src: r.id, Dst: partner, Class: ClassP2P, Tag: tag}
-	return r.commSend(fmt.Sprintf("send:%s>%d", name, partner), m, 0, rt.In(name, buf))
+	return r.w.world.Rank(r.id).Send(partner, tag, name, buf)
 }
 
-// Recv submits a communication task that blocks until the matching message
-// from partner under tag arrives and copies it into buf; tasks reading
-// region name afterwards are gated behind it. A type or length mismatch
-// between the payload and buf is recorded as a World error. It returns the
-// task id.
+// Recv blocks until the matching message from partner under tag arrives on
+// the world communicator and copies it into buf.
+//
+// Deprecated: use World.Comm().Rank(i).Recv — communication is
+// communicator-scoped; this thin wrapper delegates to the world
+// communicator and exists for transition only.
 func (r *Rank) Recv(partner, tag int, name string, buf buffer.Buffer) uint64 {
-	m := Match{Src: partner, Dst: r.id, Class: ClassP2P, Tag: tag}
-	return r.commRecv(fmt.Sprintf("recv:%s<%d", name, partner), m, 0, rt.Out(name, buf))
+	return r.w.world.Rank(r.id).Recv(partner, tag, name, buf)
 }
 
 // commSend submits a comm task that, when its dependencies resolve, seals a

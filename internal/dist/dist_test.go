@@ -16,8 +16,8 @@ func TestSendRecvDelivers(t *testing.T) {
 	w := NewWorld(Config{Ranks: 2})
 	src := buffer.F64{42}
 	dst := buffer.NewF64(1)
-	w.Rank(0).Send(1, 0, "s", src)
-	w.Rank(1).Recv(0, 0, "d", dst)
+	w.Comm().Rank(0).Send(1, 0, "s", src)
+	w.Comm().Rank(1).Recv(0, 0, "d", dst)
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -37,12 +37,12 @@ func TestSendSnapshotsAtExecution(t *testing.T) {
 	dst := buffer.NewF64(1)
 	w.Rank(0).Runtime().Submit("set", func(ctx *rt.Ctx) { ctx.F64(0)[0] = 7 },
 		rt.Out("a", a))
-	w.Rank(0).Send(1, 0, "a", a)
+	w.Comm().Rank(0).Send(1, 0, "a", a)
 	// This write is ordered after the send's In access; it must not leak
 	// into the message even though it may run long before the Recv matches.
 	w.Rank(0).Runtime().Submit("clobber", func(ctx *rt.Ctx) { ctx.F64(0)[0] = -1 },
 		rt.Out("a", a))
-	w.Rank(1).Recv(0, 0, "d", dst)
+	w.Comm().Rank(1).Recv(0, 0, "d", dst)
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -63,8 +63,8 @@ func TestRendezvousFIFOOrdering(t *testing.T) {
 		v := float64(i)
 		w.Rank(0).Runtime().Submit("set", func(ctx *rt.Ctx) { ctx.F64(0)[0] = v },
 			rt.Out("a", a))
-		w.Rank(0).Send(1, 0, "a", a)
-		w.Rank(1).Recv(0, 0, "d", d)
+		w.Comm().Rank(0).Send(1, 0, "a", a)
+		w.Comm().Rank(1).Recv(0, 0, "d", d)
 		i := i
 		w.Rank(1).Runtime().Submit("log", func(ctx *rt.Ctx) { ctx.F64(1)[i] = ctx.F64(0)[0] },
 			rt.In("d", d), rt.Inout("res", res))
@@ -87,10 +87,10 @@ func TestTagMatching(t *testing.T) {
 	a2 := buffer.F64{2}
 	d5 := buffer.NewF64(1)
 	d9 := buffer.NewF64(1)
-	w.Rank(0).Send(1, 5, "a1", a1)
-	w.Rank(0).Send(1, 9, "a2", a2)
-	w.Rank(1).Recv(0, 9, "d9", d9)
-	w.Rank(1).Recv(0, 5, "d5", d5)
+	w.Comm().Rank(0).Send(1, 5, "a1", a1)
+	w.Comm().Rank(0).Send(1, 9, "a2", a2)
+	w.Comm().Rank(1).Recv(0, 9, "d9", d9)
+	w.Comm().Rank(1).Recv(0, 5, "d5", d5)
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -103,8 +103,8 @@ func TestSelfSend(t *testing.T) {
 	w := NewWorld(Config{Ranks: 1, RT: func(int) rt.Config { return rt.Config{Workers: 2} }})
 	a := buffer.F64{3}
 	d := buffer.NewF64(1)
-	w.Rank(0).Send(0, 0, "a", a)
-	w.Rank(0).Recv(0, 0, "d", d)
+	w.Comm().Rank(0).Send(0, 0, "a", a)
+	w.Comm().Rank(0).Recv(0, 0, "d", d)
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -135,8 +135,8 @@ func TestCommNeverReplicatedNorInjected(t *testing.T) {
 					x[i]++
 				}
 			}, rt.Inout("local", local[rk]))
-			w.Rank(rk).Send(1-rk, it, "local", local[rk])
-			w.Rank(rk).Recv(1-rk, it, "remote", remote[rk])
+			w.Comm().Rank(rk).Send(1-rk, it, "local", local[rk])
+			w.Comm().Rank(rk).Recv(1-rk, it, "remote", remote[rk])
 		}
 	}
 	if err := w.Shutdown(); err != nil {
@@ -173,8 +173,8 @@ func TestMessagesSentAccounting(t *testing.T) {
 	for round := 0; round < rounds; round++ {
 		for rk := 0; rk < ranks; rk++ {
 			next := (rk + 1) % ranks
-			w.Rank(rk).Send(next, round, "b", bufs[rk])
-			w.Rank(next).Recv(rk, round, "in", in[next])
+			w.Comm().Rank(rk).Send(next, round, "b", bufs[rk])
+			w.Comm().Rank(next).Recv(rk, round, "in", in[next])
 		}
 	}
 	if err := w.Shutdown(); err != nil {
@@ -217,8 +217,8 @@ func TestShutdownPropagatesRecvMismatch(t *testing.T) {
 	// A payload that cannot be copied into the receive buffer (length
 	// mismatch) is a World error, reported at Shutdown.
 	w := NewWorld(Config{Ranks: 2})
-	w.Rank(0).Send(1, 0, "s", buffer.F64{1})
-	w.Rank(1).Recv(0, 0, "d", buffer.NewF64(2))
+	w.Comm().Rank(0).Send(1, 0, "s", buffer.F64{1})
+	w.Comm().Rank(1).Recv(0, 0, "d", buffer.NewF64(2))
 	err := w.Shutdown()
 	if err == nil {
 		t.Fatal("Shutdown returned nil, want a copy mismatch error")
@@ -233,7 +233,7 @@ func TestShutdownDanglingRecvReportsDeadlock(t *testing.T) {
 	// detects that no rank can progress except through a match that will
 	// never come, closes the transport, and the receive errors out.
 	w := NewWorld(Config{Ranks: 2})
-	w.Rank(0).Recv(1, 0, "d", buffer.NewF64(1))
+	w.Comm().Rank(0).Recv(1, 0, "d", buffer.NewF64(1))
 	err := w.Shutdown()
 	if err == nil {
 		t.Fatal("Shutdown returned nil for a dangling receive")
@@ -318,10 +318,10 @@ func TestHaloExchangeMatchesSerial(t *testing.T) {
 				ctx.F64(1)[0] = ctx.F64(0)[0]
 				ctx.F64(2)[0] = ctx.F64(0)[n-1]
 			}, rt.In("v", v[rk]), rt.Out("bl", bl[rk]), rt.Out("br", br[rk]))
-			w.Rank(rk).Send(left, it, "bl", bl[rk])
-			w.Rank(rk).Send(right, it, "br", br[rk])
-			w.Rank(rk).Recv(left, it, "gl", gl[rk])
-			w.Rank(rk).Recv(right, it, "gr", gr[rk])
+			w.Comm().Rank(rk).Send(left, it, "bl", bl[rk])
+			w.Comm().Rank(rk).Send(right, it, "br", br[rk])
+			w.Comm().Rank(rk).Recv(left, it, "gl", gl[rk])
+			w.Comm().Rank(rk).Recv(right, it, "gr", gr[rk])
 			w.Rank(rk).Runtime().Submit("stencil", func(ctx *rt.Ctx) {
 				x := ctx.F64(0)
 				l0 := ctx.F64(1)[0]

@@ -15,6 +15,11 @@ import (
 // is the time the same traffic would have needed on the modeled fabric, and
 // Messages/BytesSent are the network's own accounting.
 //
+// Communicators are invisible here by design: Match.Src/Dst are always
+// world rank ids whatever Comm the traffic belongs to, so the (Src, Dst)
+// link charged below is the physical one, and the context id only affects
+// which mailbox the payload rendezvouses in.
+//
 // The virtual clock is advanced under a transport-wide lock in the order the
 // send tasks happen to execute, so Now() of a concurrent run is
 // schedule-dependent within the bounds of link serialization; totals

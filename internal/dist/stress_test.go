@@ -8,6 +8,117 @@ import (
 	"appfit/internal/rt"
 )
 
+// TestCommContextIsolation64Ranks is the tentpole's isolation gate, run
+// under -race by `make check`: a 64-rank World carrying four traffic
+// streams that all use the same user tag —
+//
+//   - a ring on the world communicator;
+//   - a ring on an "alias" communicator from a single-color Split: same 64
+//     members, same world-rank pairs, same tag, so its Matches differ from
+//     the world's in the context id alone;
+//   - a ring inside each half of a two-color Split (the issue's two groups
+//     with identical tags), with keys reversed so comm ranks exercise the
+//     dense re-numbering;
+//   - an AllreduceSum on each half, also under the shared tag.
+//
+// Every payload is checked: one cross-context rendezvous anywhere and some
+// receiver sees another stream's value.
+func TestCommContextIsolation64Ranks(t *testing.T) {
+	const n = 64
+	const tag = 7 // every stream uses this tag
+	w := NewWorld(Config{Ranks: n})
+	world := w.Comm()
+
+	// Alias communicator: all 64 members, identity order, fresh context.
+	aliasSubs, err := world.Split(make([]int, n), identity(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := aliasSubs[0]
+	if alias.Context() == world.Context() {
+		t.Fatal("alias comm shares the world context")
+	}
+
+	// Two halves by parity, reversed key order.
+	colors := make([]int, n)
+	keys := make([]int, n)
+	for i := 0; i < n; i++ {
+		colors[i] = i % 2
+		keys[i] = n - i
+	}
+	halves, err := world.Split(colors, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ring := func(c *Comm, prefix string, base float64, dst []buffer.F64) {
+		size := c.Size()
+		for i := 0; i < size; i++ {
+			c.Rank(i).Send((i+1)%size, tag, prefix+"s", buffer.F64{base + float64(i)})
+			c.Rank(i).Recv(((i-1)%size+size)%size, tag, prefix+"d", dst[i])
+		}
+	}
+	worldDst := newScalars(n)
+	aliasDst := newScalars(n)
+	halfDst := [2][]buffer.F64{newScalars(n / 2), newScalars(n / 2)}
+	red := [2][]buffer.F64{newScalars(n / 2), newScalars(n / 2)}
+	ring(world, "w", 1000, worldDst)
+	ring(alias, "a", 2000, aliasDst)
+	for h := 0; h < 2; h++ {
+		g := halves[h] // member h of the parity split is in group h
+		ring(g, "g", 3000+1000*float64(h), halfDst[h])
+		for i := 0; i < g.Size(); i++ {
+			red[h][i][0] = float64(i)
+		}
+		g.AllreduceSum(tag, "red", red[h])
+	}
+
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	sum := float64((n / 2) * (n/2 - 1) / 2)
+	for i := 0; i < n; i++ {
+		left := ((i-1)%n + n) % n
+		if worldDst[i][0] != 1000+float64(left) {
+			t.Fatalf("world ring rank %d got %v (cross-context match)", i, worldDst[i][0])
+		}
+		if aliasDst[i][0] != 2000+float64(left) {
+			t.Fatalf("alias ring rank %d got %v (cross-context match)", i, aliasDst[i][0])
+		}
+	}
+	for h := 0; h < 2; h++ {
+		size := n / 2
+		for i := 0; i < size; i++ {
+			left := ((i-1)%size + size) % size
+			if halfDst[h][i][0] != 3000+1000*float64(h)+float64(left) {
+				t.Fatalf("group %d ring member %d got %v (cross-group match)", h, i, halfDst[h][i][0])
+			}
+			if red[h][i][0] != sum {
+				t.Fatalf("group %d allreduce member %d = %v, want %v", h, i, red[h][i][0], sum)
+			}
+		}
+	}
+	if d, ok := w.Transport().(*Direct); ok && d.Pending() != 0 {
+		t.Fatalf("transport still holds %d messages", d.Pending())
+	}
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func newScalars(n int) []buffer.F64 {
+	b := make([]buffer.F64, n)
+	for i := range b {
+		b[i] = buffer.NewF64(1)
+	}
+	return b
+}
+
 // TestDirectShardedConcurrency hammers the sharded matcher directly (no
 // World): many sender/receiver goroutine pairs over many mailboxes, with
 // several mailboxes deliberately colliding on a shard, checking payloads
@@ -66,6 +177,7 @@ func TestWorld256RanksMixedTraffic(t *testing.T) {
 	}
 	const n = 256
 	w := NewWorld(Config{Ranks: n})
+	c := w.Comm()
 
 	// Phase 1: ring halo exchange — every rank sends its value right and
 	// receives its left neighbor's.
@@ -76,14 +188,14 @@ func TestWorld256RanksMixedTraffic(t *testing.T) {
 		halo[i] = buffer.NewF64(1)
 	}
 	for i := 0; i < n; i++ {
-		w.Rank(i).Send((i+1)%n, 0, "own", own[i])
-		w.Rank(i).Recv(((i-1)%n+n)%n, 0, "halo", halo[i])
+		c.Rank(i).Send((i+1)%n, 0, "own", own[i])
+		c.Rank(i).Recv(((i-1)%n+n)%n, 0, "halo", halo[i])
 	}
 
 	// Phase 2: barrier, gated on the halo region so it orders after phase 1
 	// on every rank.
 	for i := 0; i < n; i++ {
-		w.Rank(i).Barrier(1, rt.In("halo", halo[i]))
+		c.Rank(i).Barrier(1, rt.In("halo", halo[i]))
 	}
 
 	// Phase 3: ring allgather of every rank's scalar.
@@ -99,14 +211,14 @@ func TestWorld256RanksMixedTraffic(t *testing.T) {
 			}
 		}
 	}
-	w.Allgather(2, name, gbufs)
+	c.Allgather(2, name, gbufs)
 
 	// Phase 4: allreduce-max over a per-rank scalar.
 	rbufs := make([]buffer.F64, n)
 	for i := 0; i < n; i++ {
 		rbufs[i] = buffer.F64{float64(i % 13)}
 	}
-	w.Allreduce(3, "r", rbufs, OpMax)
+	c.Allreduce(3, "r", rbufs, OpMax)
 
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)

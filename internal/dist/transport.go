@@ -33,14 +33,25 @@ const (
 	ClassReduce
 	// ClassGather is allgather-ring traffic.
 	ClassGather
+	// ClassRedScat is ring reduce-scatter traffic.
+	ClassRedScat
+	// ClassTree is recursive-doubling tree-allreduce traffic.
+	ClassTree
 )
 
-// Match identifies one mailbox: a directed (Src, Dst) link plus a class, a
-// tag, and a class-private subchannel — the dissemination round for
-// barriers, the root for broadcast/reduce trees — so two same-tag
-// collectives rooted differently can never share a mailbox. Messages with
-// the same Match deliver in FIFO order.
+// Match identifies one mailbox: a communicator context, a directed
+// (Src, Dst) link — always *world* rank ids, so transports can charge the
+// physical link regardless of which communicator the traffic belongs to —
+// plus a class, a tag, and a class-private subchannel (the dissemination
+// round for barriers, the root for broadcast/reduce trees, the ring or
+// doubling step for allgather/reduce-scatter/tree traffic), so two same-tag
+// collectives rooted differently can never share a mailbox. Ctx is the
+// communicator context id minted at Split time (0 for the world
+// communicator): two communicators can carry identical (Src, Dst, Class,
+// Tag, Sub) traffic and never rendezvous with each other. Messages with the
+// same Match deliver in FIFO order.
 type Match struct {
+	Ctx      uint64
 	Src, Dst int
 	Class    Class
 	Tag      int
@@ -106,7 +117,7 @@ func NewDirect() *Direct {
 // (0, 1, 2, …) spread over the stripes instead of clustering in the low ones.
 func (d *Direct) shard(m Match) *directShard {
 	h := uint64(2166136261)
-	for _, f := range [...]uint64{uint64(m.Src), uint64(m.Dst), uint64(m.Class), uint64(m.Tag), uint64(m.Sub)} {
+	for _, f := range [...]uint64{m.Ctx, uint64(m.Src), uint64(m.Dst), uint64(m.Class), uint64(m.Tag), uint64(m.Sub)} {
 		h = (h ^ f) * 16777619
 	}
 	h ^= h >> 30

@@ -65,8 +65,8 @@ func TestSimTransportChargesTheFabric(t *testing.T) {
 				x[j] = v
 			}
 		}, rt.Out("a", a))
-		w.Rank(0).Send(1, i, "a", a)
-		w.Rank(1).Recv(0, i, "d", d)
+		w.Comm().Rank(0).Send(1, i, "a", a)
+		w.Comm().Rank(1).Recv(0, i, "d", d)
 		w.Rank(1).Runtime().Submit("acc", func(ctx *rt.Ctx) {
 			ctx.F64(1)[0] += ctx.F64(0)[0]
 		}, rt.In("d", d), rt.Inout("sum", sum))
