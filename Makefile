@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples
+.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology
 
-check: vet race race-comm build-examples bench-build
+check: vet race race-comm build-examples check-topology bench-build
+
+# Topology gate: cmd/experiments must keep compiling against the Topology
+# API and its flat-vs-hierarchical table must keep producing (the
+# EXPERIMENTS.md seed). `go run` both builds and executes it, so an API
+# drift or a topology regression fails `make check` even when no unit test
+# covers the command.
+check-topology:
+	$(GO) run ./cmd/experiments topology > /dev/null
 
 # The communicator-isolation gate, named explicitly so `make check` always
 # runs it under -race even if the full race suite is trimmed: two Split

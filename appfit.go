@@ -47,6 +47,7 @@ import (
 	"appfit/internal/fault"
 	"appfit/internal/fit"
 	"appfit/internal/rt"
+	"appfit/internal/simnet"
 	"appfit/internal/trace"
 	"appfit/internal/vote"
 )
@@ -204,4 +205,66 @@ var (
 	ErrSplitColor     = dist.ErrSplitColor
 	ErrSplitKey       = dist.ErrSplitKey
 	ErrCollectiveArgs = dist.ErrCollectiveArgs
+)
+
+// NetConfig is one interconnect link cost model (latency + bandwidth);
+// Topology places World ranks on physical nodes with one model for
+// node-mate links and one for node-crossing links. A World given a
+// Topology auto-selects hierarchical collectives (node-local phase →
+// leader exchange → node-local fan-out); a Sim transport given the same
+// Topology prices and serializes every message by placement, so the
+// virtual clock distinguishes a good placement from a terrible one. See
+// DESIGN.md §8.
+type (
+	NetConfig = simnet.Config
+	Topology  = simnet.Topology
+)
+
+// MarenostrumNet returns the paper testbed's InfiniBand-class link model.
+func MarenostrumNet() NetConfig { return simnet.Marenostrum() }
+
+// MemoryBusNet returns the shared-memory-class intra-node link model.
+func MemoryBusNet() NetConfig { return simnet.MemoryBus() }
+
+// NewTopology builds a topology from an explicit rank→node placement.
+func NewTopology(nodeOf []int, intra, inter NetConfig) (*Topology, error) {
+	return simnet.NewTopology(nodeOf, intra, inter)
+}
+
+// BlockTopology places ranks on nodes in contiguous blocks of perNode.
+func BlockTopology(ranks, perNode int, intra, inter NetConfig) (*Topology, error) {
+	return simnet.BlockTopology(ranks, perNode, intra, inter)
+}
+
+// MarenostrumTopology is the paper's machine shape: perNode ranks per
+// node, memory-bus links inside a node, Marenostrum InfiniBand across.
+func MarenostrumTopology(ranks, perNode int) (*Topology, error) {
+	return simnet.MarenostrumTopology(ranks, perNode)
+}
+
+// SimTransport is the virtual-fabric transport: a World transport that
+// additionally charges every message latency + bandwidth on a modeled
+// interconnect and reports the link-occupancy makespan via Now().
+type SimTransport = dist.Sim
+
+// NewSimTransport returns a flat virtual-fabric transport (every rank its
+// own node, every link priced by cfg). An invalid cfg — zero/negative
+// bandwidth, negative or non-finite latency — panics with a wrapped
+// ErrNetConfig: it is a programmer error, like scheduling a simulation
+// event in the past. Check cfg.Validate() first when the model comes from
+// configuration; the Topology constructors validate for you.
+func NewSimTransport(cfg NetConfig) *SimTransport { return dist.NewSim(cfg) }
+
+// NewSimTopologyTransport returns a placement-aware virtual-fabric
+// transport: node-mate messages are priced by the topology's intra model,
+// node-crossing ones by the inter model, serialized per physical cable.
+func NewSimTopologyTransport(topo *Topology) *SimTransport { return dist.NewSimTopology(topo) }
+
+// Named errors of the topology layer: malformed link cost models and
+// placements (simnet constructors), and a World topology that does not
+// cover the World's ranks.
+var (
+	ErrNetConfig     = simnet.ErrConfig
+	ErrNetTopology   = simnet.ErrTopology
+	ErrWorldTopology = dist.ErrTopology
 )

@@ -11,6 +11,7 @@
 //	experiments sweep [bench]       threshold-sensitivity sweep
 //	experiments sparecores [bench]  overhead vs spare capacity
 //	experiments reliability [bench] corrupted-result counts per policy
+//	experiments topology            flat vs hierarchical collectives on the placed fabric
 //	experiments all                 everything above
 //
 // Flags: -scale tiny|small|medium, -workers N, -repeats N.
@@ -110,13 +111,21 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(s)
+		case "topology":
+			fmt.Println("=== Topology: flat vs hierarchical collectives (64 ranks, 16/node) ===")
+			_, s, err := experiments.TopologyTable(64, 16, 4096)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(s)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if cmd == "all" {
-		for _, n := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation", "sweep", "sparecores", "reliability"} {
+		for _, n := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation", "sweep", "sparecores", "reliability", "topology"} {
 			run(n)
 		}
 		return

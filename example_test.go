@@ -98,6 +98,33 @@ func ExampleComm_Split() {
 	// Output: 3 30 3 30
 }
 
+// ExampleBlockTopology places a four-rank World two ranks per node and
+// prices the same reduction's traffic on the placed fabric: the
+// communicator auto-selects the hierarchical allreduce (node-local fold →
+// leader exchange → node-local fan-out), so only one full vector crosses
+// the node boundary in each direction while the node-mates trade over the
+// memory bus.
+func ExampleBlockTopology() {
+	topo, err := appfit.BlockTopology(4, 2, appfit.MemoryBusNet(), appfit.MarenostrumNet())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sim := appfit.NewSimTopologyTransport(topo)
+	w := appfit.NewWorld(appfit.WorldConfig{Ranks: 4, Topology: topo, Transport: sim})
+	vals := []appfit.F64{{1}, {2}, {3}, {4}}
+	w.Comm().AllreduceSum(0, "s", vals)
+	if err := w.Shutdown(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("hierarchical:", w.Comm().Hierarchical())
+	fmt.Println("sum:", vals[0][0], "wire bytes:", sim.WireBytes())
+	// Output:
+	// hierarchical: true
+	// sum: 10 wire bytes: 16
+}
+
 // ExampleNewWorld_pingpong is a deterministic miniature of
 // examples/hybrid_pingpong: two ranks relax a block toward each other's
 // state and exchange it every iteration under selective replication with

@@ -7,16 +7,19 @@
 // Part 2 — the same blocked algorithm running for real on the distributed
 // World (internal/dist): one rank per block, each rank its own dataflow
 // runtime under complete replication with injected faults, over a
-// simnet-backed transport that charges every message Marenostrum-class
-// latency and bandwidth. The ranks form a 2×2 grid split into row and
-// column sub-communicators (Comm.Split), and positions move hierarchically
-// every step — a ring allgather inside each row, then ring allgathers
-// inside each column forwarding the row-collected blocks — so every
-// transfer rides a row or column neighbor link instead of the full n²
-// all-to-all ring, the topology-aware shape hierarchical collectives take
-// on a real fabric. The final positions must match the serial reference
-// bitwise: replication recovers every injected fault and the communication
-// tasks are never replicated, so no message is ever duplicated.
+// simnet-backed transport that charges every message by placement. The 2×2
+// rank grid is placed two ranks per node (simnet.BlockTopology): the
+// fabric's meter prices node-mate transfers at memory-bus cost and
+// node-crossing ones at Marenostrum InfiniBand cost, serialized per cable.
+// The same workload runs twice on that identical placed fabric — once with
+// the World kept placement-blind, so every position refresh is the flat
+// ring allgather, and once with the topology handed to the World, so the
+// communicator auto-selects the hierarchical allgather (node-local ring →
+// leader exchange → node-local fan-out). Both runs must match the serial
+// reference bitwise — replication recovers every injected fault, the
+// communication tasks are never replicated, and the hierarchical route
+// moves the same payloads — but the hierarchical one reports a lower
+// virtual-time makespan, because only one rank per node crosses the wire.
 //
 //	go run ./examples/distributed_nbody
 package main
@@ -82,18 +85,25 @@ func virtualScaling() {
 	fmt.Println("\nreplication rides the spare cores: the speedup curve tracks the fault-free one")
 }
 
-func worldRun() {
-	const (
-		gridR = 2 // rank grid rows
-		gridC = 2 // rank grid columns: rank rk sits at (rk/gridC, rk%gridC)
-		ranks = gridR * gridC
-		b     = 64 // bodies per block
-		steps = 3
-	)
-	p := nbody.Params{N: ranks * b, B: b, Steps: steps}
+const (
+	gridR  = 2 // rank grid rows: two nodes
+	gridC  = 2 // rank grid columns: two ranks per node
+	ranks  = gridR * gridC
+	bodies = 64 // bodies per block
+	steps  = 3
+)
 
-	sim := dist.NewSim(simnet.Marenostrum())
-	w := dist.NewWorld(dist.Config{
+// nbodyOnWorld runs the blocked n-body for real on a World over the placed
+// fabric topo. When placed is true the World knows the topology and its
+// allgather goes hierarchical; when false it is placement-blind and uses
+// the flat ring — the fabric prices both identically, so the virtual-time
+// difference is purely the algorithm's routing. Returns the transport for
+// its accounting plus whether the result matches the serial reference
+// bitwise.
+func nbodyOnWorld(topo *simnet.Topology, placed bool) (*dist.Sim, *dist.World, bool) {
+	p := nbody.Params{N: ranks * bodies, B: bodies, Steps: steps}
+	sim := dist.NewSimTopology(topo)
+	cfg := dist.Config{
 		Ranks:     ranks,
 		Transport: sim,
 		RT: func(rank int) rt.Config {
@@ -103,33 +113,16 @@ func worldRun() {
 				Injector: fault.NewFixedRate(uint64(rank)*31+3, 0.02, 0.02),
 			}
 		},
-	})
-
-	// Split the world into row and column sub-communicators: rows[rk] is
-	// rank rk's row group (comm rank = its column), cols[rk] its column
-	// group (comm rank = its row). Each Split mints a fresh matching
-	// context, so row and column plumbing can reuse tags without ever
-	// cross-matching.
+	}
+	if placed {
+		cfg.Topology = topo
+	}
+	w := dist.NewWorld(cfg)
 	c := w.Comm()
-	rowColors := make([]int, ranks)
-	rowKeys := make([]int, ranks)
-	colColors := make([]int, ranks)
-	colKeys := make([]int, ranks)
-	for rk := 0; rk < ranks; rk++ {
-		rowColors[rk], rowKeys[rk] = rk/gridC, rk%gridC
-		colColors[rk], colKeys[rk] = rk%gridC, rk/gridC
-	}
-	rows, err := c.Split(rowColors, rowKeys)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cols, err := c.Split(colColors, colKeys)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	// Rank rk owns block rk (positions + velocities) and holds ghost copies
-	// of every other block's positions, refreshed hierarchically each step.
+	// of every other block's positions, refreshed by one world allgather
+	// per step — flat ring or hierarchical, chosen by the communicator.
 	pk := func(j int) string { return fmt.Sprintf("pos[%d]", j) }
 	pos := make([][]buffer.F64, ranks) // pos[rk][j]: rank rk's copy of block j
 	vel := make([]buffer.F64, ranks)
@@ -139,53 +132,31 @@ func worldRun() {
 		pos[rk] = make([]buffer.F64, ranks)
 		pacc[rk] = make([]buffer.F64, ranks)
 		for j := 0; j < ranks; j++ {
-			pos[rk][j] = buffer.NewF64(3 * b)
-			pacc[rk][j] = buffer.NewF64(3 * b)
+			pos[rk][j] = buffer.NewF64(3 * bodies)
+			pacc[rk][j] = buffer.NewF64(3 * bodies)
 		}
-		nbody.InitBlock(pos[rk][rk], rk, b)
-		vel[rk] = buffer.NewF64(3 * b)
-		acc[rk] = buffer.NewF64(3 * b)
+		nbody.InitBlock(pos[rk][rk], rk, bodies)
+		vel[rk] = buffer.NewF64(3 * bodies)
+		acc[rk] = buffer.NewF64(3 * bodies)
 	}
 
 	for step := 0; step < steps; step++ {
-		// Phase A — row allgather: after it, rank (r, j) holds every block
-		// of row r. Each member's first send reads its own post-integration
-		// region, so the ring gates on the previous step's integrate.
-		for r := 0; r < gridR; r++ {
-			rc := rows[r*gridC]
-			bufsRow := make([][]buffer.Buffer, gridC)
-			for j := 0; j < gridC; j++ {
-				rk := r*gridC + j
-				bufsRow[j] = make([]buffer.Buffer, gridC)
-				for j2 := 0; j2 < gridC; j2++ {
-					bufsRow[j][j2] = pos[rk][r*gridC+j2]
-				}
-			}
-			rc.Allgather(step, func(j int) string { return pk(r*gridC + j) }, bufsRow)
-		}
-		// Phase B — column allgathers: for each block-column bc, column
-		// comm member i forwards block (i, bc) it collected in phase A, so
-		// every rank ends holding every block; the forwarding sends are
-		// dataflow-gated on the phase-A receives that wrote those regions.
-		for cp := 0; cp < gridC; cp++ {
-			cc := cols[cp]
-			for bc := 0; bc < gridC; bc++ {
-				bufsCol := make([][]buffer.Buffer, gridR)
-				for i := 0; i < gridR; i++ {
-					rk := i*gridC + cp
-					bufsCol[i] = make([]buffer.Buffer, gridR)
-					for i2 := 0; i2 < gridR; i2++ {
-						bufsCol[i][i2] = pos[rk][i2*gridC+bc]
-					}
-				}
-				cc.Allgather(step*gridC+bc, func(j int) string { return pk(j*gridC + bc) }, bufsCol)
+		// Position refresh: every member's first send reads its own
+		// post-integration region, so the exchange gates on the previous
+		// step's integrate, whatever route the payloads take.
+		bufs := make([][]buffer.Buffer, ranks)
+		for rk := 0; rk < ranks; rk++ {
+			bufs[rk] = make([]buffer.Buffer, ranks)
+			for j := 0; j < ranks; j++ {
+				bufs[rk][j] = pos[rk][j]
 			}
 		}
+		c.Allgather(step, pk, bufs)
 		for rk := 0; rk < ranks; rk++ {
 			for j := 0; j < ranks; j++ {
 				j := j
 				w.Rank(rk).Runtime().Submit("force", func(ctx *rt.Ctx) {
-					nbody.PartialForces(ctx.F64(2), ctx.F64(0), ctx.F64(1), b, b)
+					nbody.PartialForces(ctx.F64(2), ctx.F64(0), ctx.F64(1), bodies, bodies)
 				}, rt.In(pk(rk), pos[rk][rk]), rt.In(pk(j), pos[rk][j]),
 					rt.Out(fmt.Sprintf("pacc[%d]", j), pacc[rk][j]))
 			}
@@ -201,7 +172,7 @@ func worldRun() {
 				nbody.Reduce(ctx.F64(0), parts)
 			}, args...)
 			w.Rank(rk).Runtime().Submit("integrate", func(ctx *rt.Ctx) {
-				nbody.Integrate(ctx.F64(0), ctx.F64(1), ctx.F64(2), b)
+				nbody.Integrate(ctx.F64(0), ctx.F64(1), ctx.F64(2), bodies)
 			}, rt.Inout(pk(rk), pos[rk][rk]), rt.Inout("vel", vel[rk]), rt.In("acc", acc[rk]))
 		}
 	}
@@ -212,25 +183,42 @@ func worldRun() {
 	want := nbody.Reference(p)
 	exact := true
 	for rk := 0; rk < ranks && exact; rk++ {
-		for k := 0; k < 3*b; k++ {
-			if pos[rk][rk][k] != want[rk*3*b+k] {
+		for k := 0; k < 3*bodies; k++ {
+			if pos[rk][rk][k] != want[rk*3*bodies+k] {
 				exact = false
 				break
 			}
 		}
 	}
+	return sim, w, exact
+}
+
+func worldRun() {
+	// Place the 2×2 grid two ranks per node: rank pairs {0,1} and {2,3}
+	// are node-mates on the memory bus; only node 0 ↔ node 1 traffic pays
+	// Marenostrum InfiniBand cost.
+	topo, err := simnet.BlockTopology(ranks, gridC, simnet.MemoryBus(), simnet.Marenostrum())
+	if err != nil {
+		log.Fatal(err)
+	}
+	flatSim, flatW, flatExact := nbodyOnWorld(topo, false)
+	hierSim, hierW, hierExact := nbodyOnWorld(topo, true)
 
 	fmt.Printf("nbody on the World: %d×%d rank grid × %d bodies, %d steps, complete replication, injected faults\n",
-		gridR, gridC, b, steps)
-	fmt.Println("positions move hierarchically: row allgather, then column allgathers of the row-collected blocks")
+		gridR, gridC, bodies, steps)
+	fmt.Println("placed 2 ranks/node; same fabric priced twice: flat ring allgather vs hierarchical (auto-selected)")
 	fmt.Printf("%-6s %-12s %-12s %s\n", "rank", "replicated", "reexecs", "faults recovered")
 	for rk := 0; rk < ranks; rk++ {
-		st := w.Rank(rk).Stats()
+		st := hierW.Rank(rk).Stats()
 		fmt.Printf("%-6d %-12d %-12d sdc:%d due:%d\n", rk,
 			st.Replicated, st.Reexecutions, st.SDCRecovered, st.DUERecovered)
 	}
-	fmt.Printf("messages sent: %d (row/column allgather rings, never duplicated by replication)\n", w.MessagesSent())
-	fmt.Printf("fabric charge: %d bytes in %.1f µs of virtual Marenostrum time\n",
-		sim.BytesSent(), sim.Now().Seconds()*1e6)
-	fmt.Printf("bitwise identical to serial reference: %v\n", exact)
+	fmt.Printf("messages sent: %d flat, %d hierarchical (never duplicated by replication)\n",
+		flatW.MessagesSent(), hierW.MessagesSent())
+	fmt.Printf("flat ring:     %6d bytes over the wire, %7.2f µs of virtual fabric time\n",
+		flatSim.WireBytes(), flatSim.Now().Seconds()*1e6)
+	fmt.Printf("hierarchical:  %6d bytes over the wire, %7.2f µs of virtual fabric time\n",
+		hierSim.WireBytes(), hierSim.Now().Seconds()*1e6)
+	fmt.Printf("hierarchical beats flat in virtual time: %v\n", hierSim.Now() < flatSim.Now())
+	fmt.Printf("both bitwise identical to serial reference: %v\n", flatExact && hierExact)
 }

@@ -20,6 +20,7 @@ import (
 	"appfit/internal/fault"
 	"appfit/internal/fit"
 	"appfit/internal/rt"
+	"appfit/internal/simnet"
 )
 
 const (
@@ -71,4 +72,42 @@ func main() {
 	}
 	fmt.Printf("messages sent: %d (= ranks × iters; replication never duplicated one)\n",
 		w.MessagesSent())
+
+	fmt.Println()
+	placementDemo()
+}
+
+// placementDemo prices the same halo pattern on a placed fabric under two
+// placements: partners as node-mates (every exchange rides the memory bus)
+// versus partners split across nodes (every exchange crosses InfiniBand
+// and all of it funnels through one pair of cables). The old flat network
+// model charged both identically; the topology meter separates them.
+func placementDemo() {
+	intra, inter := simnet.MemoryBus(), simnet.Marenostrum()
+	run := func(nodeOf []int) *dist.Sim {
+		topo, err := simnet.NewTopology(nodeOf, intra, inter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := dist.NewSimTopology(topo)
+		w := dist.NewWorld(dist.Config{Ranks: ranks, Transport: sim, Topology: topo})
+		if _, err := workload.BuildHalo(w.Comm(), workload.HaloConfig{Iters: iters, N: n}); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Shutdown(); err != nil {
+			log.Fatal(err)
+		}
+		return sim
+	}
+	// Partners are comm rank ^ 1: {0,1} and {2,3}. Good placement puts
+	// each pair on one node; the bad one splits every pair across nodes.
+	good := run([]int{0, 0, 1, 1})
+	bad := run([]int{0, 1, 0, 1})
+	fmt.Println("placement pricing (same halo traffic on the placed fabric):")
+	fmt.Printf("  pairs co-located:  %8d wire bytes, %8.2f µs virtual\n",
+		good.WireBytes(), good.Now().Seconds()*1e6)
+	fmt.Printf("  pairs split:       %8d wire bytes, %8.2f µs virtual\n",
+		bad.WireBytes(), bad.Now().Seconds()*1e6)
+	fmt.Printf("  a bad placement is now %.0f× more expensive in virtual time\n",
+		bad.Now().Seconds()/good.Now().Seconds())
 }

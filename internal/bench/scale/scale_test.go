@@ -338,6 +338,112 @@ func BenchmarkAllreduceTreeVsGather(b *testing.B) {
 	}
 }
 
+// ---- topology: flat vs hierarchical collectives on the placed fabric ----
+
+// BenchmarkAllreduceFlatVsHier is the acceptance benchmark of the topology
+// PR: the same allreduce on the same placed fabric (16 ranks per node,
+// memory-bus intra links, Marenostrum inter links) at 64/128/256 ranks,
+// once with the flat algorithms (the World does not know the placement)
+// and once hierarchical (it does). Wall time measures the in-process
+// machinery; the decisive metric is vus/op — the Sim transport's virtual
+// link-occupancy makespan in microseconds, which the hierarchical variant
+// must keep below the flat one (recorded in BENCH_scale.json).
+func BenchmarkAllreduceFlatVsHier(b *testing.B) {
+	const perNode = 16
+	const vecLen = 4096
+	for _, hier := range []bool{false, true} {
+		for _, ranks := range []int{64, 128, 256} {
+			hier, ranks := hier, ranks
+			name := "flat"
+			if hier {
+				name = "hier"
+			}
+			b.Run(fmt.Sprintf("%s/ranks=%d", name, ranks), func(b *testing.B) {
+				topo, err := simnet.MarenostrumTopology(ranks, perNode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				var vus float64
+				for i := 0; i < b.N; i++ {
+					sim := dist.NewSimTopology(topo)
+					cfg := dist.Config{Ranks: ranks, Transport: sim}
+					if hier {
+						cfg.Topology = topo
+					}
+					w := dist.NewWorld(cfg)
+					bufs := make([]buffer.F64, ranks)
+					for r := range bufs {
+						bufs[r] = buffer.NewF64(vecLen)
+						bufs[r][0] = 1
+					}
+					w.Comm().AllreduceSum(0, "r", bufs)
+					if err := w.Shutdown(); err != nil {
+						b.Fatal(err)
+					}
+					if bufs[0][0] != float64(ranks) {
+						b.Fatalf("allreduce sum = %v, want %d", bufs[0][0], ranks)
+					}
+					vus = sim.Now().Seconds() * 1e6
+				}
+				b.ReportMetric(vus, "vus/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAllgatherFlatVsHier is the allgather companion: the hierarchical
+// route trades the ring's node-crossing steps for node-local rings plus one
+// leader exchange per block. Capped at 128 ranks — a 256-rank allgather
+// allocates ranks² blocks per iteration, which measures the allocator, not
+// the fabric.
+func BenchmarkAllgatherFlatVsHier(b *testing.B) {
+	const perNode = 16
+	const vecLen = 256
+	for _, hier := range []bool{false, true} {
+		for _, ranks := range []int{64, 128} {
+			hier, ranks := hier, ranks
+			name := "flat"
+			if hier {
+				name = "hier"
+			}
+			b.Run(fmt.Sprintf("%s/ranks=%d", name, ranks), func(b *testing.B) {
+				topo, err := simnet.MarenostrumTopology(ranks, perNode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				var vus float64
+				for i := 0; i < b.N; i++ {
+					sim := dist.NewSimTopology(topo)
+					cfg := dist.Config{Ranks: ranks, Transport: sim}
+					if hier {
+						cfg.Topology = topo
+					}
+					w := dist.NewWorld(cfg)
+					bufs := make([][]buffer.Buffer, ranks)
+					for r := range bufs {
+						bufs[r] = make([]buffer.Buffer, ranks)
+						for j := range bufs[r] {
+							bufs[r][j] = buffer.NewF64(vecLen)
+						}
+						bufs[r][r].(buffer.F64)[0] = float64(r + 1)
+					}
+					w.Comm().Allgather(0, func(j int) string { return "g" + strconv.Itoa(j) }, bufs)
+					if err := w.Shutdown(); err != nil {
+						b.Fatal(err)
+					}
+					if got := bufs[0][ranks-1].(buffer.F64)[0]; got != float64(ranks) {
+						b.Fatalf("allgather block = %v, want %d", got, ranks)
+					}
+					vus = sim.Now().Seconds() * 1e6
+				}
+				b.ReportMetric(vus, "vus/op")
+			})
+		}
+	}
+}
+
 // BenchmarkWorldScale runs the mixed-traffic World at 64/128/256 ranks over
 // the sharded Direct, the frozen mutex matcher, and the Sim fabric
 // (Marenostrum cost model). One op is a whole World lifetime: construction,

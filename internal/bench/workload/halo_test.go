@@ -8,6 +8,7 @@ import (
 	"appfit/internal/dist"
 	"appfit/internal/fault"
 	"appfit/internal/rt"
+	"appfit/internal/simnet"
 )
 
 func TestHaloMatchesSerialUnderFaults(t *testing.T) {
@@ -66,5 +67,47 @@ func TestHaloRejectsOddComm(t *testing.T) {
 	}
 	if err := w.Shutdown(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHaloPlacementPricing(t *testing.T) {
+	// The pattern pairs comm rank ^ 1, so a block placement of two ranks
+	// per node keeps every exchange on the memory bus, while a strided
+	// placement sends every exchange over the wire. The placed fabric must
+	// price them apart (the ISSUE-4 motivation: the flat model could not
+	// distinguish a good placement from a terrible one), and both runs
+	// must still match the serial reference bitwise.
+	const ranks = 4
+	const iters = 5
+	const n = 512
+	run := func(nodeOf []int) (*dist.Sim, *Halo) {
+		topo, err := simnet.NewTopology(nodeOf, simnet.MemoryBus(), simnet.Marenostrum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := dist.NewSimTopology(topo)
+		w := dist.NewWorld(dist.Config{Ranks: ranks, Transport: sim, Topology: topo})
+		h, err := BuildHalo(w.Comm(), HaloConfig{Iters: iters, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return sim, h
+	}
+	good, _ := run([]int{0, 0, 1, 1}) // partners co-located
+	bad, h := run([]int{0, 1, 0, 1})  // partners split across nodes
+	if good.WireBytes() != 0 {
+		t.Fatalf("co-located halo crossed the wire: %d bytes", good.WireBytes())
+	}
+	if want := int64(h.Messages()) * n * 8; bad.WireBytes() != want {
+		t.Fatalf("split halo wire bytes = %d, want %d", bad.WireBytes(), want)
+	}
+	if good.Now() >= bad.Now() {
+		t.Fatalf("good placement %v must beat bad %v in virtual time", good.Now(), bad.Now())
 	}
 }

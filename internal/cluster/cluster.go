@@ -82,10 +82,22 @@ func (j Job) TotalCost() simtime.Time {
 
 // Config parameterizes one simulation run.
 type Config struct {
-	// Nodes and CoresPerNode shape the machine (defaults 1 and 1).
+	// Nodes and CoresPerNode shape the machine (defaults 1 and 1; with a
+	// Topo, Nodes defaults to Topo.Ranks()).
 	Nodes, CoresPerNode int
-	// Net is the interconnect model (default simnet.Marenostrum()).
+	// Net is the interconnect model (default simnet.Marenostrum()), used
+	// when Topo is nil: every node pair is its own link — the flat fabric.
 	Net simnet.Config
+	// Topo places the simulated nodes on physical machines: cross-node
+	// dependency payloads between co-located nodes are charged the
+	// topology's intra-node model on their own link, node-crossing ones the
+	// inter-node model serialized per physical cable — the same
+	// simnet.Topology the dist layer's Sim transport and hierarchical
+	// collectives consume, so both execution engines price communication
+	// from one source of truth. Topo must place at least Nodes ranks
+	// (Run returns a wrapped simnet.ErrTopology otherwise); nil keeps the
+	// flat Net model.
+	Topo *simnet.Topology
 	// MemBWBytesPerSec prices checkpoint/restore/compare memory traffic
 	// (default 32 GB/s: input snapshots and output comparisons stream
 	// cache-resident blocks, not cold DRAM).
@@ -109,6 +121,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Nodes < 1 {
 		c.Nodes = 1
+		if c.Topo != nil {
+			c.Nodes = c.Topo.Ranks()
+		}
 	}
 	if c.CoresPerNode < 1 {
 		c.CoresPerNode = 1
@@ -154,9 +169,12 @@ type Result struct {
 	Replicated int
 	// SDCDetected / DUERecovered / Reexecutions count recovery activity.
 	SDCDetected, DUERecovered, Reexecutions int
-	// Messages / BytesSent summarize network traffic.
+	// Messages / BytesSent / WireBytes summarize network traffic;
+	// WireBytes is the portion that crossed physical-node boundaries
+	// (everything, without a Config.Topo).
 	Messages  uint64
 	BytesSent int64
+	WireBytes int64
 	// NodeBusy[n] is node n's summed primary-core occupancy; utilization
 	// analyses divide by Makespan × CoresPerNode.
 	NodeBusy []simtime.Time
@@ -283,6 +301,13 @@ func Run(job Job, cfg Config) (Result, error) {
 	if err := job.Validate(cfg.Nodes); err != nil {
 		return Result{}, err
 	}
+	if cfg.Topo != nil && cfg.Topo.Ranks() < cfg.Nodes {
+		return Result{}, fmt.Errorf("cluster: %d-rank topology under %d nodes: %w",
+			cfg.Topo.Ranks(), cfg.Nodes, simnet.ErrTopology)
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return Result{}, fmt.Errorf("cluster: %w", err)
+	}
 	s := &sim{
 		job:       job,
 		cfg:       cfg,
@@ -292,7 +317,11 @@ func Run(job Job, cfg Config) (Result, error) {
 		ready:     make([]itemHeap, cfg.Nodes),
 		remaining: len(job.Tasks),
 	}
-	s.net = simnet.New(s.eng, cfg.Net)
+	if cfg.Topo != nil {
+		s.net = simnet.NewWithTopology(s.eng, cfg.Topo)
+	} else {
+		s.net = simnet.New(s.eng, cfg.Net)
+	}
 	s.res.NodeBusy = make([]simtime.Time, cfg.Nodes)
 	for n := range s.free {
 		s.free[n] = cfg.CoresPerNode
@@ -329,6 +358,7 @@ func Run(job Job, cfg Config) (Result, error) {
 	}
 	s.res.Messages = s.net.Messages()
 	s.res.BytesSent = s.net.BytesSent()
+	s.res.WireBytes = s.net.WireBytes()
 	s.res.Makespan = s.eng.Now()
 	return s.res, nil
 }

@@ -115,14 +115,27 @@ func (c *Comm) Barrier(tag int) {
 }
 
 // Broadcast replicates root's buffer into every member's buffer for region
-// name through a binomial tree of dependency-gated transfers: relative rank
-// j receives from j − 2^⌊log2 j⌋ and forwards to every j + 2^k with
-// 2^k > j. bufs[i] is comm rank i's buffer; all must match root's type and
-// length. Intermediate members forward only after their receive wrote the
-// region, so the whole tree is ordered by the dataflow tracker alone. An
-// out-of-range root or a bufs slice of the wrong length records a World
-// error and submits nothing.
+// name. On a communicator whose topology is non-flat (see Hierarchical) it
+// runs the hierarchical algorithm (BroadcastHier); otherwise the binomial
+// tree (BroadcastFlat). Both move bitwise-identical payloads; only the
+// routing — and therefore the fabric cost — differs.
 func (c *Comm) Broadcast(root, tag int, name string, bufs []buffer.Buffer) {
+	if c.hier {
+		c.BroadcastHier(root, tag, name, bufs)
+		return
+	}
+	c.BroadcastFlat(root, tag, name, bufs)
+}
+
+// BroadcastFlat replicates root's buffer into every member's buffer for
+// region name through a binomial tree of dependency-gated transfers:
+// relative rank j receives from j − 2^⌊log2 j⌋ and forwards to every
+// j + 2^k with 2^k > j. bufs[i] is comm rank i's buffer; all must match
+// root's type and length. Intermediate members forward only after their
+// receive wrote the region, so the whole tree is ordered by the dataflow
+// tracker alone. An out-of-range root or a bufs slice of the wrong length
+// records a World error and submits nothing.
+func (c *Comm) BroadcastFlat(root, tag int, name string, bufs []buffer.Buffer) {
 	n := len(c.members)
 	if !c.checkMembers("Broadcast", len(bufs)) {
 		return
@@ -154,7 +167,20 @@ func (c *Comm) Broadcast(root, tag int, name string, bufs []buffer.Buffer) {
 }
 
 // Allgather leaves every member holding every member's block for the named
-// regions, via the ring algorithm: in step s of n−1, each member forwards
+// regions. On a communicator whose topology is non-flat (see Hierarchical)
+// it runs the hierarchical algorithm (AllgatherHier); otherwise the ring
+// (AllgatherFlat). Both move bitwise-identical payloads; only the routing —
+// and therefore the fabric cost — differs.
+func (c *Comm) Allgather(tag int, name func(j int) string, bufs [][]buffer.Buffer) {
+	if c.hier {
+		c.AllgatherHier(tag, name, bufs)
+		return
+	}
+	c.AllgatherFlat(tag, name, bufs)
+}
+
+// AllgatherFlat leaves every member holding every member's block for the
+// named regions, via the ring algorithm: in step s of n−1, each member forwards
 // to its right neighbor (comm rank order) the block it received in step s−1
 // (its own block in step 0) and receives one from its left neighbor —
 // n(n−1) messages total, every one over a ring link, with no root hotspot.
@@ -169,7 +195,7 @@ func (c *Comm) Broadcast(root, tag int, name string, bufs []buffer.Buffer) {
 // collide with a same-tag Broadcast — with the ring step as the subchannel,
 // so a step-s frame can never match a step-s′ receive even when an eager
 // sender runs two forwards back-to-back.
-func (c *Comm) Allgather(tag int, name func(j int) string, bufs [][]buffer.Buffer) {
+func (c *Comm) AllgatherFlat(tag int, name func(j int) string, bufs [][]buffer.Buffer) {
 	n := len(c.members)
 	if !c.checkMembers("Allgather", len(bufs)) {
 		return
@@ -240,14 +266,24 @@ var (
 const TreeAllreduceCrossover = 512
 
 // Allreduce leaves op's reduction of every member's float64 buffer for
-// region name in all of them, selecting the algorithm by vector length:
-// vectors shorter than TreeAllreduceCrossover use AllreduceGather, longer
-// ones AllreduceTree. The tree requires a commutative op, so auto-selection
-// only dispatches to it for the builtin OpSum/OpMin/OpMax; a custom op —
-// whose commutativity the runtime cannot see — always takes the gather
-// path, which folds in rank order and is valid for any deterministic op.
-// Call AllreduceTree explicitly for a custom op you know is commutative.
+// region name in all of them. On a communicator whose topology is non-flat
+// (see Hierarchical) it runs the hierarchical algorithm (AllreduceHier):
+// node-local fold → leader exchange → node-local fan-out, so full vectors
+// cross the wire once per node instead of once per member. Otherwise it
+// selects the flat algorithm by vector length: vectors shorter than
+// TreeAllreduceCrossover use AllreduceGather, longer ones AllreduceTree.
+// Both the hierarchical fold (which groups and reorders operands by node)
+// and the tree require a commutative op, so auto-selection dispatches to
+// them only for the builtin OpSum/OpMin/OpMax; a custom op — whose
+// commutativity the runtime cannot see — always takes the gather path,
+// which folds in strict comm-rank order and is valid for any deterministic
+// op, placed or not. Call AllreduceHier or AllreduceTree explicitly for a
+// custom op you know is commutative.
 func (c *Comm) Allreduce(tag int, name string, bufs []buffer.F64, op ReduceOp) {
+	if c.hier && builtinCommutative(op) {
+		c.AllreduceHier(tag, name, bufs, op)
+		return
+	}
 	if len(bufs) > 0 && len(bufs[0]) >= TreeAllreduceCrossover && c.Size() > 2 && builtinCommutative(op) {
 		c.AllreduceTree(tag, name, bufs, op)
 		return
@@ -284,6 +320,22 @@ func (c *Comm) AllreduceGather(tag int, name string, bufs []buffer.F64, op Reduc
 	if n == 1 {
 		return
 	}
+	c.reduceAtZero(tag, name, bufs, op)
+	bb := make([]buffer.Buffer, n)
+	for i, b := range bufs {
+		bb[i] = b
+	}
+	c.BroadcastFlat(0, tag, name, bb)
+}
+
+// reduceAtZero is the gather half of AllreduceGather: members 1..n−1 send
+// their buffers to member 0, which folds them into its own buffer in comm
+// rank order with an ordinary compute task. Callers have validated bufs.
+func (c *Comm) reduceAtZero(tag int, name string, bufs []buffer.F64, op ReduceOp) {
+	n := len(c.members)
+	if n == 1 {
+		return
+	}
 	root := c.members[0]
 	redArgs := []rt.Arg{rt.Inout(name, bufs[0])}
 	for i := 1; i < n; i++ {
@@ -303,11 +355,6 @@ func (c *Comm) AllreduceGather(tag int, name string, bufs []buffer.F64, op Reduc
 			op(dst, ctx.F64(a))
 		}
 	}, redArgs...)
-	bb := make([]buffer.Buffer, n)
-	for i, b := range bufs {
-		bb[i] = b
-	}
-	c.Broadcast(0, tag, name, bb)
 }
 
 // AllreduceTree is the recursive-halving/doubling Allreduce for long

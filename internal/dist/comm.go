@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"appfit/internal/buffer"
 	"appfit/internal/rt"
@@ -51,6 +52,9 @@ var (
 	// ErrCollectiveArgs reports a collective whose per-member buffer slices
 	// do not match the communicator size.
 	ErrCollectiveArgs = errors.New("dist: collective buffers do not match the communicator size")
+	// ErrTopology reports a World Config whose topology places fewer ranks
+	// than the World holds.
+	ErrTopology = errors.New("dist: topology does not cover the world's ranks")
 )
 
 // Comm is a communicator: an ordered group of ranks with a private matching
@@ -70,6 +74,15 @@ type Comm struct {
 	// collectives on sibling or parent communicators can still interleave.
 	toks   []buffer.U8
 	tokKey string
+	// hier is set at construction when the World's topology places the
+	// members across ≥2 nodes with at least one node shared — the condition
+	// under which the collectives auto-select their hierarchical algorithms.
+	hier bool
+	// node is the cached decomposition backing the hierarchical
+	// collectives, minted lazily by nodeComms (see topology.go).
+	nodeOnce sync.Once
+	node     *nodeDecomp
+	nodeErr  error
 }
 
 // newComm builds the group state for the given members under context id ctx.
@@ -81,6 +94,7 @@ func newComm(w *World, ctx uint64, members []*Rank) *Comm {
 		handles: make([]CommRank, len(members)),
 		toks:    make([]buffer.U8, len(members)),
 		tokKey:  fmt.Sprintf("%s:tok:%d", collKey, ctx),
+		hier:    commHier(w, members),
 	}
 	for i := range members {
 		c.handles[i] = CommRank{c: c, id: i}
@@ -100,6 +114,11 @@ func (c *Comm) Size() int { return len(c.members) }
 // communicator). Every message the communicator moves carries it in its
 // Match.
 func (c *Comm) Context() uint64 { return c.ctx }
+
+// Hierarchical reports whether the communicator auto-selects hierarchical
+// collectives: the World's topology places its members across at least two
+// nodes, at least one of which hosts two or more of them.
+func (c *Comm) Hierarchical() bool { return c.hier }
 
 // WorldRanks returns the members' world rank ids in comm rank order.
 func (c *Comm) WorldRanks() []int {
@@ -182,6 +201,15 @@ func (c *Comm) Split(colors, keys []int) ([]*Comm, error) {
 		}
 	}
 	return subs, nil
+}
+
+// Dup returns a communicator with the same members in the same order under
+// a fresh matching context — MPI_Comm_dup: traffic on the duplicate can
+// never rendezvous with traffic on the original (or on any other Dup), even
+// between the same ranks under identical tags, so a library can take a Dup
+// and communicate freely without ever colliding with its caller's traffic.
+func (c *Comm) Dup() *Comm {
+	return newComm(c.w, c.w.nextCtx.Add(1), c.members)
 }
 
 // CommRank is one member's view of a communicator: its dense comm-local

@@ -39,6 +39,7 @@ import (
 
 	"appfit/internal/buffer"
 	"appfit/internal/rt"
+	"appfit/internal/simnet"
 )
 
 // Config configures a World.
@@ -50,6 +51,15 @@ type Config struct {
 	RT func(rank int) rt.Config
 	// Transport moves messages between ranks (default: NewDirect()).
 	Transport Transport
+	// Topology places the ranks on physical nodes. It steers the
+	// algorithms, not the pricing: communicators whose members share nodes
+	// auto-select hierarchical collectives (node-local phase → leader
+	// exchange → node-local fan-out) and Comm.SplitByNode derives node-local
+	// sub-communicators from it. To also charge messages by placement, hand
+	// the same topology to the transport (NewSimTopology). Nil keeps every
+	// layer flat. A topology with fewer ranks than the World records
+	// ErrTopology in the World's error set and is ignored.
+	Topology *simnet.Topology
 }
 
 // World is a set of communicating ranks. Create with NewWorld, communicate
@@ -58,6 +68,7 @@ type Config struct {
 // graph and aggregates their errors.
 type World struct {
 	tr    Transport
+	topo  *simnet.Topology // nil means flat (one rank per node)
 	ranks []*Rank
 	world *Comm
 	// nextCtx mints communicator context ids; 0 is the world communicator.
@@ -94,6 +105,26 @@ func NewWorld(cfg Config) *World {
 		tr = NewDirect()
 	}
 	w := &World{tr: tr, ranks: make([]*Rank, n)}
+	if topo := cfg.Topology; topo != nil {
+		if topo.Ranks() < n {
+			w.addErr(fmt.Errorf("dist: %d-rank topology under a %d-rank world: %w",
+				topo.Ranks(), n, ErrTopology))
+		} else {
+			w.topo = topo
+		}
+	}
+	// A placed transport must also cover the world: otherwise its meter
+	// would index the placement out of range on the first cross-rank send —
+	// a panic on a worker goroutine, not a reportable error. Record the
+	// mismatch and fall back to an unpriced Direct transport instead.
+	type placed interface{ Topology() *simnet.Topology }
+	if pt, ok := tr.(placed); ok {
+		if tt := pt.Topology(); tt != nil && tt.Ranks() < n {
+			w.addErr(fmt.Errorf("dist: %d-rank transport topology under a %d-rank world (messages flow unpriced): %w",
+				tt.Ranks(), n, ErrTopology))
+			w.tr = NewDirect()
+		}
+	}
 	for i := range w.ranks {
 		var rc rt.Config
 		if cfg.RT != nil {
@@ -103,6 +134,19 @@ func NewWorld(cfg Config) *World {
 	}
 	w.world = newComm(w, 0, w.ranks)
 	return w
+}
+
+// Topology returns the placement the World's communicators select
+// algorithms by, nil for a flat World.
+func (w *World) Topology() *simnet.Topology { return w.topo }
+
+// nodeOf returns world rank id's node: its topology node, or itself when
+// the World is flat.
+func (w *World) nodeOf(id int) int {
+	if w.topo == nil {
+		return id
+	}
+	return w.topo.NodeOf(id)
 }
 
 // Size returns the number of ranks.

@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"testing"
+
+	"appfit/internal/buffer"
+	"appfit/internal/rt"
+)
+
+func TestDupBasics(t *testing.T) {
+	w := NewWorld(Config{Ranks: 4})
+	c := w.Comm()
+	d := c.Dup()
+	if d.Context() == c.Context() {
+		t.Fatal("Dup must mint a fresh context")
+	}
+	if d.Size() != c.Size() {
+		t.Fatalf("Dup size %d, want %d", d.Size(), c.Size())
+	}
+	for i := 0; i < c.Size(); i++ {
+		if d.Rank(i).World() != c.Rank(i).World() {
+			t.Fatalf("Dup member %d maps to a different world rank", i)
+		}
+	}
+	d2 := c.Dup()
+	if d2.Context() == d.Context() {
+		t.Fatal("two Dups must not share a context")
+	}
+	// A Dup of a sub-communicator keeps the sub-group.
+	subs, err := c.Split([]int{0, 1, 0, 1}, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := subs[0].Dup()
+	if sd.Size() != 2 || sd.WorldRanks()[0] != 0 || sd.WorldRanks()[1] != 2 {
+		t.Fatalf("Dup of a sub-communicator: %v", sd.WorldRanks())
+	}
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDupNoCrossRendezvousStress is the satellite's stress gate: the world
+// communicator plus two Dups carry identical-tag traffic between identical
+// rank pairs — rings, an allreduce and point-to-point bursts, all in
+// flight at once on 32 ranks, every stream using the same tag on all three
+// communicators. Matching differs in the context id alone; a single
+// cross-communicator rendezvous anywhere delivers a wrong payload. (Within
+// one communicator each stream has its own tag — ring sends and burst
+// sends on one pair are dataflow-independent, so sharing a mailbox between
+// them would race by design, as in MPI.) Run under -race by the full
+// suite.
+func TestDupNoCrossRendezvousStress(t *testing.T) {
+	const n = 32
+	const tag = 5  // ring + allreduce tag, identical on all comms
+	const btag = 6 // burst tag, identical on all comms
+	const burst = 8
+	w := NewWorld(Config{Ranks: n})
+	comms := []*Comm{w.Comm(), w.Comm().Dup(), w.Comm().Dup()}
+
+	ringDst := make([][]buffer.F64, len(comms))
+	burstDst := make([][][]buffer.F64, len(comms))
+	red := make([][]buffer.F64, len(comms))
+	for ci, c := range comms {
+		base := 1000 * float64(ci+1)
+		ringDst[ci] = newScalars(n)
+		for i := 0; i < n; i++ {
+			c.Rank(i).Send((i+1)%n, tag, "rs", buffer.F64{base + float64(i)})
+			c.Rank(i).Recv(((i-1)%n+n)%n, tag, "rd", ringDst[ci][i])
+		}
+		// Bursts between the same pair (0→1) on every comm: one mailbox per
+		// comm, FIFO within it, isolation across comms. Each payload is
+		// produced into the same region by a compute task, so the WAR edge
+		// producer(k+1)→send(k) serializes the sends in program order and
+		// the eager snapshot ships value k before value k+1 overwrites it.
+		burstDst[ci] = make([][]buffer.F64, 1)
+		burstDst[ci][0] = newScalars(burst)
+		bsrc := buffer.NewF64(1)
+		for k := 0; k < burst; k++ {
+			v := base + 100 + float64(k)
+			c.Rank(0).Runtime().Submit("produce", func(ctx *rt.Ctx) {
+				ctx.F64(0)[0] = v
+			}, rt.Out("bs", bsrc))
+			c.Rank(0).Send(1, btag, "bs", bsrc)
+			c.Rank(1).Recv(0, btag, "bd", burstDst[ci][0][k])
+		}
+		red[ci] = newScalars(n)
+		for i := 0; i < n; i++ {
+			red[ci][i][0] = base + float64(i)
+		}
+		c.AllreduceSum(tag, "red", red[ci])
+	}
+	if err := w.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for ci := range comms {
+		base := 1000 * float64(ci+1)
+		for i := 0; i < n; i++ {
+			left := ((i-1)%n + n) % n
+			if got := ringDst[ci][i][0]; got != base+float64(left) {
+				t.Fatalf("comm %d ring rank %d got %v (cross-Dup rendezvous)", ci, i, got)
+			}
+		}
+		for k := 0; k < burst; k++ {
+			if got := burstDst[ci][0][k][0]; got != base+100+float64(k) {
+				t.Fatalf("comm %d burst %d got %v (cross-Dup or out-of-order)", ci, k, got)
+			}
+		}
+		want := float64(n)*base + float64(n*(n-1)/2)
+		for i := 0; i < n; i++ {
+			if got := red[ci][i][0]; got != want {
+				t.Fatalf("comm %d allreduce rank %d = %v, want %v", ci, i, got, want)
+			}
+		}
+	}
+	if d, ok := w.Transport().(*Direct); ok && d.Pending() != 0 {
+		t.Fatalf("transport still holds %d messages", d.Pending())
+	}
+}

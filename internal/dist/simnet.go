@@ -9,51 +9,72 @@ import (
 )
 
 // Sim is a Direct matcher that additionally charges every message latency
-// and bandwidth through internal/simnet's interconnect model, including
-// per-link serialization. Delivery to the receiver is immediate (the ranks
-// run at wall-clock speed); only the clock is virtual: after a run, Now()
-// is the time the same traffic would have needed on the modeled fabric, and
-// Messages/BytesSent are the network's own accounting.
+// and bandwidth through internal/simnet's interconnect model. Delivery to
+// the receiver is immediate (the ranks run at wall-clock speed); only the
+// clock is virtual: after a run, Now() is the fabric makespan the same
+// traffic would have needed on the modeled interconnect, and
+// Messages/BytesSent are the meter's own accounting.
+//
+// With a topology (NewSimTopology) the charge is placement-aware: a Match
+// whose world Src and Dst share a node is priced by the topology's
+// intra-node model on the directed rank-pair link, while a node-crossing
+// Match is priced by the inter-node model and serialized on the directed
+// (srcNode, dstNode) pair — every rank pair funneling through one cable
+// queues on it, so the virtual clock finally distinguishes a good placement
+// from a terrible one. NewSim keeps the old flat pricing: every rank its
+// own node, one Config for every link.
 //
 // Communicators are invisible here by design: Match.Src/Dst are always
-// world rank ids whatever Comm the traffic belongs to, so the (Src, Dst)
-// link charged below is the physical one, and the context id only affects
-// which mailbox the payload rendezvouses in.
+// world rank ids whatever Comm the traffic belongs to, so the link charged
+// is the physical one, and the context id only affects which mailbox the
+// payload rendezvouses in.
 //
-// The virtual clock is advanced under a transport-wide lock in the order the
-// send tasks happen to execute, so Now() of a concurrent run is
-// schedule-dependent within the bounds of link serialization; totals
-// (Messages, BytesSent) are exact.
+// Links are charged in the order the send tasks happen to execute, so
+// Now() of a concurrent run is schedule-dependent within the bounds of
+// per-link serialization; totals (Messages, BytesSent, WireBytes) are
+// exact. Now() is a link-occupancy makespan: each physical link serializes
+// its own transfers while distinct links overlap freely (see
+// simnet.Meter).
 type Sim struct {
 	direct *Direct
 
-	mu  sync.Mutex // guards eng and net (both single-threaded by design)
-	eng *simtime.Engine
-	net *simnet.Network
+	mu    sync.Mutex // guards meter (single-threaded by design)
+	meter *simnet.Meter
 }
 
-// NewSim returns a simnet-backed transport with the given interconnect cost
-// model (simnet.Marenostrum() for the paper's fabric class).
+// NewSim returns a simnet-backed transport with the given flat interconnect
+// cost model (simnet.Marenostrum() for the paper's fabric class): every
+// rank is its own node, any rank id prices. An invalid cfg panics with a
+// wrapped simnet.ErrConfig — validate with cfg.Validate() at the boundary.
 func NewSim(cfg simnet.Config) *Sim {
-	eng := simtime.New()
-	return &Sim{
-		direct: NewDirect(),
-		eng:    eng,
-		net:    simnet.New(eng, cfg),
-	}
+	return &Sim{direct: NewDirect(), meter: simnet.NewFlatMeter(cfg)}
 }
 
-// Send implements Transport: the payload is charged its transfer time on the
-// (Src, Dst) link in virtual time, then delivered to the matcher.
+// NewSimTopology returns a placement-aware simnet transport: messages are
+// priced and serialized by topo's intra/inter models and physical links.
+// topo must be non-nil (the simnet.Topology constructors validate); a World
+// using this transport must not have more ranks than topo.Ranks().
+func NewSimTopology(topo *simnet.Topology) *Sim {
+	if topo == nil {
+		panic("dist: NewSimTopology with nil topology")
+	}
+	return &Sim{direct: NewDirect(), meter: simnet.NewMeter(topo)}
+}
+
+// Topology returns the placement the transport prices by, nil for the flat
+// NewSim transport.
+func (s *Sim) Topology() *simnet.Topology {
+	return s.meter.Topology()
+}
+
+// Send implements Transport: the payload is charged its transfer time on
+// the physical (Src, Dst) link in virtual time, then delivered to the
+// matcher.
 func (s *Sim) Send(m Match, payload buffer.Buffer) {
 	s.mu.Lock()
-	s.net.Send(m.Src, m.Dst, payload.SizeBytes(), func() {
-		s.direct.Send(m, payload)
-	})
-	// Fire the delivery event now: real ranks do not wait for virtual time,
-	// they only account it. Draining keeps at most one event queued.
-	s.eng.Run()
+	s.meter.Charge(m.Src, m.Dst, payload.SizeBytes())
 	s.mu.Unlock()
+	s.direct.Send(m, payload)
 }
 
 // Recv implements Transport.
@@ -62,24 +83,32 @@ func (s *Sim) Recv(m Match) (buffer.Buffer, error) { return s.direct.Recv(m) }
 // Close implements Transport.
 func (s *Sim) Close() { s.direct.Close() }
 
-// Now returns the virtual time the traffic so far would have needed on the
-// modeled interconnect.
+// Now returns the virtual fabric makespan of the traffic so far: the
+// latest busy-until over all physical links.
 func (s *Sim) Now() simtime.Time {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.eng.Now()
+	return s.meter.Now()
 }
 
-// Messages returns the number of messages charged to the network.
+// Messages returns the number of messages charged to the fabric.
 func (s *Sim) Messages() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.net.Messages()
+	return s.meter.Messages()
 }
 
-// BytesSent returns the cumulative payload bytes charged to the network.
+// BytesSent returns the cumulative payload bytes charged to the fabric.
 func (s *Sim) BytesSent() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.net.BytesSent()
+	return s.meter.BytesSent()
+}
+
+// WireBytes returns the payload bytes that crossed node boundaries (always
+// everything for a flat NewSim transport).
+func (s *Sim) WireBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meter.WireBytes()
 }

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"appfit/internal/buffer"
+	"appfit/internal/dist"
+	"appfit/internal/simnet"
+	"appfit/internal/stats"
+)
+
+// TopologyRow is one flat-vs-hierarchical comparison: the same collective
+// on the same placed fabric (ranks ranks, perNode per node, Marenostrum
+// inter-node links, memory-bus intra-node links), once with the flat
+// algorithm (the World does not know the placement) and once with the
+// hierarchical one (it does). Times are the Sim transport's link-occupancy
+// makespans in virtual microseconds; WireMB is the payload volume that
+// crossed node boundaries.
+type TopologyRow struct {
+	Collective     string
+	Ranks, PerNode int
+	FlatUS, HierUS float64
+	FlatWireMB     float64
+	HierWireMB     float64
+	Speedup        float64
+}
+
+// TopologyTable runs Allreduce, Allgather and Broadcast flat vs
+// hierarchical on a ranks×perNode placed fabric with vecLen-element
+// float64 payloads, and renders the virtual-time table EXPERIMENTS.md
+// records. Both variants price traffic on the identical placed meter, so
+// the entire difference is the algorithm's routing.
+func TopologyTable(ranks, perNode, vecLen int) ([]TopologyRow, string, error) {
+	topo, err := simnet.MarenostrumTopology(ranks, perNode)
+	if err != nil {
+		return nil, "", err
+	}
+	type coll struct {
+		name string
+		run  func(c *dist.Comm)
+	}
+	colls := []coll{
+		{"allreduce", func(c *dist.Comm) {
+			bufs := make([]buffer.F64, ranks)
+			for i := range bufs {
+				bufs[i] = buffer.NewF64(vecLen)
+				bufs[i][0] = 1
+			}
+			c.AllreduceSum(0, "r", bufs)
+		}},
+		{"allgather", func(c *dist.Comm) {
+			bufs := make([][]buffer.Buffer, ranks)
+			for i := range bufs {
+				bufs[i] = make([]buffer.Buffer, ranks)
+				for j := range bufs[i] {
+					bufs[i][j] = buffer.NewF64(vecLen)
+				}
+			}
+			c.Allgather(0, func(j int) string { return fmt.Sprintf("b%d", j) }, bufs)
+		}},
+		{"broadcast", func(c *dist.Comm) {
+			bufs := make([]buffer.Buffer, ranks)
+			for i := range bufs {
+				bufs[i] = buffer.NewF64(vecLen)
+			}
+			c.Broadcast(ranks/2, 0, "b", bufs)
+		}},
+	}
+	var rows []TopologyRow
+	t := stats.NewTable("collective", "ranks", "per node", "flat µs", "hier µs", "speedup", "flat wire MB", "hier wire MB")
+	for _, cl := range colls {
+		var us [2]float64
+		var wire [2]float64
+		for v, placed := range []bool{false, true} {
+			sim := dist.NewSimTopology(topo)
+			cfg := dist.Config{Ranks: ranks, Transport: sim}
+			if placed {
+				cfg.Topology = topo
+			}
+			w := dist.NewWorld(cfg)
+			cl.run(w.Comm())
+			if err := w.Shutdown(); err != nil {
+				return nil, "", fmt.Errorf("experiments: topology %s placed=%v: %w", cl.name, placed, err)
+			}
+			us[v] = sim.Now().Seconds() * 1e6
+			wire[v] = float64(sim.WireBytes()) / 1e6
+		}
+		row := TopologyRow{
+			Collective: cl.name, Ranks: ranks, PerNode: perNode,
+			FlatUS: us[0], HierUS: us[1],
+			FlatWireMB: wire[0], HierWireMB: wire[1],
+		}
+		if us[1] > 0 {
+			row.Speedup = us[0] / us[1]
+		}
+		rows = append(rows, row)
+		t.AddRow(cl.name, ranks, perNode, row.FlatUS, row.HierUS, row.Speedup, row.FlatWireMB, row.HierWireMB)
+	}
+	return rows, t.String() + "\nsame placed fabric, same payloads: only the algorithms' routing differs\n", nil
+}

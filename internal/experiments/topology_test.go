@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopologyTable(t *testing.T) {
+	// Test-sized fabric: 16 ranks × 4 per node. The hierarchical variants
+	// must beat flat on virtual time and wire volume for the collectives
+	// with a node-local phase.
+	rows, s, err := TopologyTable(16, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.HierUS <= 0 || r.FlatUS <= 0 {
+			t.Fatalf("%s: degenerate timings %+v", r.Collective, r)
+		}
+		if r.Collective == "allreduce" || r.Collective == "allgather" {
+			if r.HierUS >= r.FlatUS {
+				t.Fatalf("%s: hier %v µs must beat flat %v µs", r.Collective, r.HierUS, r.FlatUS)
+			}
+			if r.HierWireMB >= r.FlatWireMB {
+				t.Fatalf("%s: hier wire %v MB must beat flat %v MB", r.Collective, r.HierWireMB, r.FlatWireMB)
+			}
+		}
+	}
+	for _, want := range []string{"allreduce", "allgather", "broadcast", "speedup"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}

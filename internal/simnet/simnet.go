@@ -47,21 +47,41 @@ func (c Config) BroadcastTime(bytes int64, ranks int) simtime.Time {
 }
 
 // Network is the event-driven message layer on top of a simtime.Engine.
-// Each directed (src, dst) link serializes its messages: a transfer starts
-// at max(now, link busy-until) and occupies the link for its duration.
+// Links serialize their messages: a transfer starts at max(now, link
+// busy-until) and occupies the link for its duration. With a topology the
+// physical link is placement-derived — intra-node transfers occupy the
+// directed (src, dst) rank pair (cores move memory in parallel) while
+// inter-node transfers occupy the directed (srcNode, dstNode) pair (every
+// rank pair crossing the same cable contends for it) — and each is priced
+// by the topology's intra/inter model. Without a topology every rank is its
+// own node: one Config, (src, dst) links, the old flat behavior bitwise.
 type Network struct {
-	eng  *simtime.Engine
-	cfg  Config
-	busy map[[2]int]simtime.Time
-
-	// accounting
-	messages  uint64
-	bytesSent int64
+	eng *simtime.Engine
+	// links carries the placement, serialization tables and accounting
+	// shared with the Meter (Topology/Messages/BytesSent/WireBytes are
+	// promoted from it), so the two pricing engines cannot diverge.
+	links
 }
 
-// New returns a Network using eng's clock.
+// New returns a flat Network using eng's clock: every (src, dst) pair is
+// its own link priced by cfg. An invalid cfg panics with a wrapped
+// ErrConfig — like scheduling an event in the past, it is always a
+// programmer error (validate with Config.Validate at the boundary).
 func New(eng *simtime.Engine, cfg Config) *Network {
-	return &Network{eng: eng, cfg: cfg, busy: make(map[[2]int]simtime.Time)}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{eng: eng, links: newLinks(nil, cfg)}
+}
+
+// NewWithTopology returns a placement-aware Network: transfers are priced
+// and serialized by topo (see Network). topo must be non-nil and is assumed
+// well-formed (the Topology constructors validate).
+func NewWithTopology(eng *simtime.Engine, topo *Topology) *Network {
+	if topo == nil {
+		panic("simnet: NewWithTopology with nil topology")
+	}
+	return &Network{eng: eng, links: newLinks(topo, Config{})}
 }
 
 // Send schedules the delivery of a message of bytes from src to dst and
@@ -74,19 +94,12 @@ func (n *Network) Send(src, dst int, bytes int64, onDelivery func()) {
 		n.eng.After(0, onDelivery)
 		return
 	}
-	link := [2]int{src, dst}
+	cfg, table, link := n.route(src, dst, bytes)
 	start := n.eng.Now()
-	if b, ok := n.busy[link]; ok && b > start {
+	if b, ok := table[link]; ok && b > start {
 		start = b
 	}
-	dur := n.cfg.TransferTime(bytes)
-	end := start + dur
-	n.busy[link] = end
+	end := start + cfg.TransferTime(bytes)
+	table[link] = end
 	n.eng.At(end, onDelivery)
 }
-
-// Messages returns the number of Send calls so far.
-func (n *Network) Messages() uint64 { return n.messages }
-
-// BytesSent returns the cumulative payload bytes.
-func (n *Network) BytesSent() int64 { return n.bytesSent }
