@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology
+.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement
 
-check: vet race race-comm build-examples check-topology bench-build
+check: vet race race-comm build-examples check-topology check-placement bench-build
 
 # Topology gate: cmd/experiments must keep compiling against the Topology
 # API and its flat-vs-hierarchical table must keep producing (the
@@ -14,6 +14,13 @@ check: vet race race-comm build-examples check-topology bench-build
 # covers the command.
 check-topology:
 	$(GO) run ./cmd/experiments topology > /dev/null
+
+# Placement gate: the optimizer must keep recovering at least the block
+# placement's makespan from a random placement on the 64-rank × 16/node
+# halo profile (PlacementTable errors out otherwise — an acceptance
+# criterion, not just a smoke run).
+check-placement:
+	$(GO) run ./cmd/experiments placement > /dev/null
 
 # The communicator-isolation gate, named explicitly so `make check` always
 # runs it under -race even if the full race suite is trimmed: two Split
@@ -53,9 +60,11 @@ bench-build:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/bench/scale
 
 # Regression guard: rerun the scale suite into a fresh JSON and fail if any
-# benchmark regressed more than 25% in ns/op against the committed
-# BENCH_scale.json baseline. Run on hardware comparable to the baseline's
-# recorded cpu: field — the threshold absorbs noise, not machine changes.
+# gated metric regressed against the committed BENCH_scale.json baseline —
+# 25% on ns/op (wall-time noise margin) and 1% on vus/op (virtual makespans
+# are deterministic; any drift is a real routing/search change). Run on
+# hardware comparable to the baseline's recorded cpu: field — the ns/op
+# threshold absorbs noise, not machine changes.
 bench-compare:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=0.5s ./internal/bench/scale \
 		| $(GO) run ./cmd/benchjson -suite scale -out /tmp/BENCH_scale.new.json

@@ -46,6 +46,7 @@ import (
 	"appfit/internal/dist"
 	"appfit/internal/fault"
 	"appfit/internal/fit"
+	"appfit/internal/place"
 	"appfit/internal/rt"
 	"appfit/internal/simnet"
 	"appfit/internal/trace"
@@ -267,4 +268,47 @@ var (
 	ErrNetConfig     = simnet.ErrConfig
 	ErrNetTopology   = simnet.ErrTopology
 	ErrWorldTopology = dist.ErrTopology
+)
+
+// The placement-optimization pipeline (internal/place, DESIGN.md §9):
+// capture a Profile of rank-pair traffic — record a live SimTransport
+// (SimTransport.Record) or derive one statically — evaluate it under any
+// candidate Topology, and search assignments against the meter's makespan.
+// PlaceEval.Makespan is bitwise the makespan a live run of the profiled
+// traffic would report on that topology.
+type (
+	// Profile is a directed rank-pair traffic matrix.
+	Profile = place.Profile
+	// PlaceOptions shapes the optimizer's machine and search budget.
+	PlaceOptions = place.Options
+	// PlaceEval is one candidate placement's price (makespan, wire bytes).
+	PlaceEval = place.Eval
+	// PlaceResult is an optimization outcome: best topology, its price,
+	// the input placement's price, and the evaluated trajectory.
+	PlaceResult = place.Result
+)
+
+// NewProfile returns an empty traffic profile over ranks ranks.
+func NewProfile(ranks int) *Profile { return place.NewProfile(ranks) }
+
+// EvaluatePlacement prices a traffic profile under a candidate topology by
+// replaying it through a fresh placement meter.
+func EvaluatePlacement(p *Profile, topo *Topology) (PlaceEval, error) {
+	return place.Evaluate(p, topo)
+}
+
+// OptimizePlacement searches rank→node assignments of profile p against
+// the meter's makespan: a greedy co-location seed refined by seeded local
+// search, never evaluating worse than the input placement start when the
+// machine is derived from it. start may be nil to search from scratch
+// (then opts.PerNode is required).
+func OptimizePlacement(p *Profile, start *Topology, opts PlaceOptions) (PlaceResult, error) {
+	return place.Optimize(p, start, opts)
+}
+
+// Named errors of the placement optimizer.
+var (
+	ErrPlaceProfile = place.ErrProfile
+	ErrPlaceRanks   = place.ErrRanks
+	ErrPlaceOptions = place.ErrOptions
 )

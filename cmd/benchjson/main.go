@@ -7,10 +7,19 @@
 //	    go run ./cmd/benchjson -suite scale -out BENCH_scale.json
 //
 // With -compare it instead diffs two baseline files and exits non-zero
-// when any benchmark's ns/op regressed beyond -threshold percent — the CI
-// guard `make bench-compare` runs against the committed baseline:
+// when any gated metric of a benchmark present in both regressed beyond
+// its unit's threshold — the CI guard `make bench-compare` runs against
+// the committed baseline:
 //
 //	go run ./cmd/benchjson -compare BENCH_scale.json BENCH_scale.new.json
+//
+// Gated units and their thresholds come from -gates, default
+// "ns/op=25,vus/op=1": wall time absorbs scheduler noise with a wide
+// margin, while vus/op — the Sim transport's virtual link-occupancy
+// makespan, the headline metric of the topology and placement work — is
+// deterministic for a fixed algorithm, so even a small regression there
+// is a real routing change, not noise. Units not listed (B/op,
+// allocs/op, custom counters) are recorded but never gate.
 package main
 
 import (
@@ -51,7 +60,7 @@ func main() {
 	suite := flag.String("suite", "scale", "suite name recorded in the JSON")
 	out := flag.String("out", "", "output file (default stdout only)")
 	compare := flag.Bool("compare", false, "compare two baseline files (old new) instead of parsing stdin")
-	threshold := flag.Float64("threshold", 25, "with -compare: fail on ns/op regressions beyond this percent")
+	gatesFlag := flag.String("gates", "ns/op=25,vus/op=1", "with -compare: gated units and their regression thresholds in percent, as unit=pct[,unit=pct...]")
 	flag.Parse()
 
 	if *compare {
@@ -59,7 +68,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(compareBaselines(flag.Arg(0), flag.Arg(1), *threshold))
+		gates, err := parseGates(*gatesFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(compareBaselines(flag.Arg(0), flag.Arg(1), gates))
 	}
 
 	base := Baseline{Suite: *suite}
@@ -115,13 +129,40 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(base.Benchmarks), *out)
 }
 
+// parseGates parses a "unit=pct[,unit=pct...]" spec into the gated-unit
+// threshold table.
+func parseGates(spec string) (map[string]float64, error) {
+	gates := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.LastIndex(part, "=")
+		if eq <= 0 || eq == len(part)-1 {
+			return nil, fmt.Errorf("malformed -gates entry %q (want unit=pct)", part)
+		}
+		pct, err := strconv.ParseFloat(part[eq+1:], 64)
+		if err != nil || pct < 0 {
+			return nil, fmt.Errorf("malformed -gates threshold in %q", part)
+		}
+		gates[part[:eq]] = pct
+	}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("-gates %q names no units", spec)
+	}
+	return gates, nil
+}
+
 // compareBaselines diffs new against old and returns the exit code: 0 when
-// every benchmark present in both stayed within threshold percent of its
-// old ns/op, 1 when any regressed beyond it. Benchmarks that appear on only
-// one side are reported but not failed — suites grow and rotate; only a
-// measured regression of a still-existing benchmark should gate.
-func compareBaselines(oldPath, newPath string, threshold float64) int {
-	load := func(path string) (map[string]float64, bool) {
+// every gated metric of every benchmark present in both stayed within its
+// unit's threshold, 1 when any regressed beyond it (higher is worse for
+// every gated unit — they are all costs per op). Benchmarks or units that
+// appear on only one side are reported but not failed — suites grow and
+// rotate; only a measured regression of a still-recorded metric should
+// gate.
+func compareBaselines(oldPath, newPath string, gates map[string]float64) int {
+	load := func(path string) (map[string]map[string]float64, bool) {
 		raw, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -132,54 +173,79 @@ func compareBaselines(oldPath, newPath string, threshold float64) int {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
 			return nil, false
 		}
-		m := make(map[string]float64, len(b.Benchmarks))
+		m := make(map[string]map[string]float64, len(b.Benchmarks))
 		for _, bm := range b.Benchmarks {
-			if v, ok := bm.Metrics["ns/op"]; ok {
-				m[bm.Name] = v
-			}
+			m[bm.Name] = bm.Metrics
 		}
 		return m, true
 	}
-	oldNs, ok := load(oldPath)
+	oldB, ok := load(oldPath)
 	if !ok {
 		return 2
 	}
-	newNs, ok := load(newPath)
+	newB, ok := load(newPath)
 	if !ok {
 		return 2
 	}
-	names := make([]string, 0, len(oldNs))
-	for name := range oldNs {
+	units := make([]string, 0, len(gates))
+	for u := range gates {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	regressed := 0
+	regressed, compared := 0, 0
 	for _, name := range names {
-		ov := oldNs[name]
-		nv, ok := newNs[name]
+		om := oldB[name]
+		nm, ok := newB[name]
 		if !ok {
 			fmt.Printf("MISSING  %-60s (in %s only)\n", name, oldPath)
 			continue
 		}
-		pct := (nv - ov) / ov * 100
-		switch {
-		case ov > 0 && pct > threshold:
-			regressed++
-			fmt.Printf("REGRESS  %-60s %12.1f -> %12.1f ns/op (%+.1f%% > %.0f%%)\n", name, ov, nv, pct, threshold)
-		default:
-			fmt.Printf("ok       %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", name, ov, nv, pct)
+		for _, unit := range units {
+			ov, okO := om[unit]
+			nv, okN := nm[unit]
+			if !okO || !okN {
+				// A gated unit recorded on only one side cannot gate, but
+				// it must not vanish silently either: a benchmark that
+				// stops reporting vus/op is exactly how a guarded metric
+				// would lose its guard unnoticed.
+				if okO != okN {
+					side := newPath
+					if okO {
+						side = oldPath
+					}
+					fmt.Printf("MISSING  %-60s %s (in %s only)\n", name, unit, side)
+				}
+				continue
+			}
+			compared++
+			pct := 0.0
+			if ov > 0 {
+				pct = (nv - ov) / ov * 100
+			}
+			if ov > 0 && pct > gates[unit] {
+				regressed++
+				fmt.Printf("REGRESS  %-60s %12.1f -> %12.1f %s (%+.1f%% > %.0f%%)\n",
+					name, ov, nv, unit, pct, gates[unit])
+			} else {
+				fmt.Printf("ok       %-60s %12.1f -> %12.1f %s (%+.1f%%)\n", name, ov, nv, unit, pct)
+			}
 		}
 	}
-	for name := range newNs {
-		if _, ok := oldNs[name]; !ok {
-			fmt.Printf("NEW      %-60s %12.1f ns/op\n", name, newNs[name])
+	for name := range newB {
+		if _, ok := oldB[name]; !ok {
+			fmt.Printf("NEW      %-60s\n", name)
 		}
 	}
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", regressed, threshold)
+		fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond their unit thresholds\n", regressed)
 		return 1
 	}
-	fmt.Printf("benchjson: no regression beyond %.0f%% across %d benchmark(s)\n", threshold, len(names))
+	fmt.Printf("benchjson: no regression across %d gated metric(s) of %d benchmark(s)\n", compared, len(names))
 	return 0
 }
 

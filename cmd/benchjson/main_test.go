@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	raw, err := json.Marshal(Baseline{Suite: "test", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareGatesEveryUnit is the satellite bugfix's lock: a synthetic
+// vus/op regression with flat ns/op must fail the compare — before this
+// PR only ns/op gated, so the virtual-makespan headline numbers of
+// BENCH_scale.json could regress silently.
+func TestCompareGatesEveryUnit(t *testing.T) {
+	dir := t.TempDir()
+	gates := map[string]float64{"ns/op": 25, "vus/op": 1}
+	oldPath := writeBaseline(t, dir, "old.json", []Benchmark{
+		{Name: "AllreduceFlatVsHier/hier/ranks=64-8", Iterations: 100,
+			Metrics: map[string]float64{"ns/op": 1000, "vus/op": 8.05, "B/op": 512}},
+		{Name: "WorldScale/direct/ranks=64-8", Iterations: 100,
+			Metrics: map[string]float64{"ns/op": 2000}},
+	})
+
+	cases := []struct {
+		name string
+		new  []Benchmark
+		want int
+	}{
+		{"identical", []Benchmark{
+			{Name: "AllreduceFlatVsHier/hier/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 1000, "vus/op": 8.05, "B/op": 512}},
+			{Name: "WorldScale/direct/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 2000}},
+		}, 0},
+		{"vus-regressed-ns-flat", []Benchmark{
+			{Name: "AllreduceFlatVsHier/hier/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 1000, "vus/op": 128.85}},
+			{Name: "WorldScale/direct/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 2000}},
+		}, 1},
+		{"ns-regressed", []Benchmark{
+			{Name: "AllreduceFlatVsHier/hier/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 1000, "vus/op": 8.05}},
+			{Name: "WorldScale/direct/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 3000}},
+		}, 1},
+		{"ungated-unit-regression-passes", []Benchmark{
+			{Name: "AllreduceFlatVsHier/hier/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 1000, "vus/op": 8.05, "B/op": 1 << 20}},
+			{Name: "WorldScale/direct/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 2000}},
+		}, 0},
+		{"within-thresholds", []Benchmark{
+			{Name: "AllreduceFlatVsHier/hier/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 1200, "vus/op": 8.1}},
+			{Name: "WorldScale/direct/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 2400}},
+		}, 0},
+		{"missing-benchmark-passes", []Benchmark{
+			{Name: "AllreduceFlatVsHier/hier/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 1000, "vus/op": 8.05}},
+		}, 0},
+		{"dropped-unit-passes", []Benchmark{
+			{Name: "AllreduceFlatVsHier/hier/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 1000}},
+			{Name: "WorldScale/direct/ranks=64-8",
+				Metrics: map[string]float64{"ns/op": 2000}},
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newPath := writeBaseline(t, dir, tc.name+".json", tc.new)
+			if got := compareBaselines(oldPath, newPath, gates); got != tc.want {
+				t.Fatalf("compare exit = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseGates(t *testing.T) {
+	gates, err := parseGates("ns/op=25,vus/op=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gates["ns/op"] != 25 || gates["vus/op"] != 1 || len(gates) != 2 {
+		t.Fatalf("gates = %v", gates)
+	}
+	for _, bad := range []string{"", "ns/op", "ns/op=", "=5", "ns/op=x", "ns/op=-3"} {
+		if _, err := parseGates(bad); err == nil {
+			t.Fatalf("parseGates(%q) must fail", bad)
+		}
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkAllreduceFlatVsHier/hier/ranks=64-8   	     100	  11839086 ns/op	         8.055 vus/op	 5143818 B/op	   45825 allocs/op")
+	if !ok {
+		t.Fatal("parseLine failed")
+	}
+	if b.Name != "AllreduceFlatVsHier/hier/ranks=64-8" || b.Iterations != 100 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Metrics["vus/op"] != 8.055 || b.Metrics["ns/op"] != 11839086 {
+		t.Fatalf("metrics %v", b.Metrics)
+	}
+}

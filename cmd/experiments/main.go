@@ -12,6 +12,7 @@
 //	experiments sparecores [bench]  overhead vs spare capacity
 //	experiments reliability [bench] corrupted-result counts per policy
 //	experiments topology            flat vs hierarchical collectives on the placed fabric
+//	experiments placement           random vs block vs optimized rank→node placement
 //	experiments all                 everything above
 //
 // Flags: -scale tiny|small|medium, -workers N, -repeats N.
@@ -119,13 +120,21 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(s)
+		case "placement":
+			fmt.Println("=== Placement search: random vs block vs optimized (64 ranks, 16/node) ===")
+			_, s, err := experiments.PlacementTable(64, 16, 4096, 1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(s)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if cmd == "all" {
-		for _, n := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation", "sweep", "sparecores", "reliability", "topology"} {
+		for _, n := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation", "sweep", "sparecores", "reliability", "topology", "placement"} {
 			run(n)
 		}
 		return

@@ -19,6 +19,7 @@ import (
 	"appfit/internal/dist"
 	"appfit/internal/fault"
 	"appfit/internal/fit"
+	"appfit/internal/place"
 	"appfit/internal/rt"
 	"appfit/internal/simnet"
 )
@@ -81,15 +82,20 @@ func main() {
 // placements: partners as node-mates (every exchange rides the memory bus)
 // versus partners split across nodes (every exchange crosses InfiniBand
 // and all of it funnels through one pair of cables). The old flat network
-// model charged both identically; the topology meter separates them.
+// model charged both identically; the topology meter separates them — and
+// since PR 5 the loop closes: the terrible placement's recorded traffic
+// profile is handed to the placement optimizer, which finds its way back
+// to the co-located assignment instead of leaving the diagnosis on the
+// table.
 func placementDemo() {
 	intra, inter := simnet.MemoryBus(), simnet.Marenostrum()
-	run := func(nodeOf []int) *dist.Sim {
+	run := func(nodeOf []int, prof *place.Profile) *dist.Sim {
 		topo, err := simnet.NewTopology(nodeOf, intra, inter)
 		if err != nil {
 			log.Fatal(err)
 		}
 		sim := dist.NewSimTopology(topo)
+		sim.Record(prof) // nil = just price, don't profile
 		w := dist.NewWorld(dist.Config{Ranks: ranks, Transport: sim, Topology: topo})
 		if _, err := workload.BuildHalo(w.Comm(), workload.HaloConfig{Iters: iters, N: n}); err != nil {
 			log.Fatal(err)
@@ -101,8 +107,10 @@ func placementDemo() {
 	}
 	// Partners are comm rank ^ 1: {0,1} and {2,3}. Good placement puts
 	// each pair on one node; the bad one splits every pair across nodes.
-	good := run([]int{0, 0, 1, 1})
-	bad := run([]int{0, 1, 0, 1})
+	// The bad run records the traffic profile the optimizer searches with.
+	good := run([]int{0, 0, 1, 1}, nil)
+	prof := place.NewProfile(ranks)
+	bad := run([]int{0, 1, 0, 1}, prof)
 	fmt.Println("placement pricing (same halo traffic on the placed fabric):")
 	fmt.Printf("  pairs co-located:  %8d wire bytes, %8.2f µs virtual\n",
 		good.WireBytes(), good.Now().Seconds()*1e6)
@@ -110,4 +118,28 @@ func placementDemo() {
 		bad.WireBytes(), bad.Now().Seconds()*1e6)
 	fmt.Printf("  a bad placement is now %.0f× more expensive in virtual time\n",
 		bad.Now().Seconds()/good.Now().Seconds())
+
+	// Close the loop: optimize the terrible placement against its own
+	// recorded profile (machine shape derived from it: 2 ranks per node),
+	// then actually run the halo on the optimized topology.
+	res, err := place.Optimize(prof, bad.Topology(), place.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := run(nodeOfSlice(res.Topo), nil)
+	fmt.Printf("  optimized (from split, %d evals): %d wire bytes, %8.2f µs virtual — recovered the co-located plan\n",
+		res.Evals(), opt.WireBytes(), opt.Now().Seconds()*1e6)
+	if opt.Now() != good.Now() || opt.WireBytes() != good.WireBytes() {
+		log.Fatalf("optimizer failed to recover the good placement: %v µs vs %v µs",
+			opt.Now().Seconds()*1e6, good.Now().Seconds()*1e6)
+	}
+}
+
+// nodeOfSlice flattens a topology back to its placement slice.
+func nodeOfSlice(t *simnet.Topology) []int {
+	nodeOf := make([]int, t.Ranks())
+	for r := range nodeOf {
+		nodeOf[r] = t.NodeOf(r)
+	}
+	return nodeOf
 }

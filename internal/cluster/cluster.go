@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"appfit/internal/fault"
+	"appfit/internal/place"
 	"appfit/internal/simnet"
 	"appfit/internal/simtime"
 )
@@ -98,6 +99,14 @@ type Config struct {
 	// (Run returns a wrapped simnet.ErrTopology otherwise); nil keeps the
 	// flat Net model.
 	Topo *simnet.Topology
+	// AutoPlace, when non-nil, makes Run search the node→machine
+	// assignment instead of taking Topo as given: the job's dependency
+	// traffic is profiled (JobProfile) and internal/place optimizes the
+	// placement against the meter's makespan, starting from Topo (which
+	// then also supplies machine defaults the options leave zero — with a
+	// nil Topo, AutoPlace.PerNode must be set). The optimized topology
+	// replaces Topo for the run and is reported as Result.Placement.
+	AutoPlace *place.Options
 	// MemBWBytesPerSec prices checkpoint/restore/compare memory traffic
 	// (default 32 GB/s: input snapshots and output comparisons stream
 	// cache-resident blocks, not cold DRAM).
@@ -178,6 +187,9 @@ type Result struct {
 	// NodeBusy[n] is node n's summed primary-core occupancy; utilization
 	// analyses divide by Makespan × CoresPerNode.
 	NodeBusy []simtime.Time
+	// Placement is the topology the run actually used when Config.AutoPlace
+	// searched one (nil otherwise — the configured Topo was taken as given).
+	Placement *simnet.Topology
 }
 
 // Utilization returns node n's primary-core utilization in [0, 1].
@@ -308,6 +320,14 @@ func Run(job Job, cfg Config) (Result, error) {
 	if err := cfg.Net.Validate(); err != nil {
 		return Result{}, fmt.Errorf("cluster: %w", err)
 	}
+	var placed *simnet.Topology
+	if cfg.AutoPlace != nil {
+		var err error
+		if cfg, _, err = autoPlace(job, cfg); err != nil {
+			return Result{}, err
+		}
+		placed = cfg.Topo
+	}
 	s := &sim{
 		job:       job,
 		cfg:       cfg,
@@ -360,6 +380,7 @@ func Run(job Job, cfg Config) (Result, error) {
 	s.res.BytesSent = s.net.BytesSent()
 	s.res.WireBytes = s.net.WireBytes()
 	s.res.Makespan = s.eng.Now()
+	s.res.Placement = placed
 	return s.res, nil
 }
 

@@ -1,0 +1,78 @@
+// Placement optimization of a Job: the static capture path of the
+// internal/place pipeline. JobProfile derives the rank-pair traffic matrix
+// a job's dependency edges will put on the fabric — mirroring exactly how
+// the simulator charges them (one delivery per producer task per consumer
+// node, max payload, see sim.finish) — and Config.AutoPlace lets Run
+// search the node→machine assignment against that profile before
+// simulating.
+package cluster
+
+import (
+	"fmt"
+
+	"appfit/internal/place"
+)
+
+// JobProfile derives the placement profile of job on a nodes-node machine:
+// for every producer task, one delivery per consumer node carrying the
+// largest payload among the edges it serves — the node-local data cache
+// the simulator models (a block travels to each consuming node once, not
+// per consuming task). Same-node edges are free and not profiled. The
+// profile is static: it prices the fault-free dependency traffic, which is
+// also what the simulator's network sees on a clean run.
+func JobProfile(job Job, nodes int) (*place.Profile, error) {
+	if err := job.Validate(nodes); err != nil {
+		return nil, err
+	}
+	p := place.NewProfile(nodes)
+	// Successor adjacency, exactly as sim.Run builds it.
+	succs := make([][]succEdge, len(job.Tasks))
+	for i, t := range job.Tasks {
+		for k, d := range t.Deps {
+			var bytes int64
+			if t.DepBytes != nil {
+				bytes = t.DepBytes[k]
+			}
+			succs[d] = append(succs[d], succEdge{task: i, bytes: bytes})
+		}
+	}
+	deliveries := make(map[int]int64, nodes) // dst node → max payload, reused
+	for i := range job.Tasks {
+		from := job.Tasks[i].Node
+		for k := range deliveries {
+			delete(deliveries, k)
+		}
+		for _, e := range succs[i] {
+			dst := job.Tasks[e.task].Node
+			if dst == from {
+				continue
+			}
+			if cur, ok := deliveries[dst]; !ok || e.bytes > cur {
+				deliveries[dst] = e.bytes
+			}
+		}
+		for dst := 0; dst < nodes; dst++ {
+			if bytes, ok := deliveries[dst]; ok {
+				p.Add(from, dst, bytes)
+			}
+		}
+	}
+	return p, nil
+}
+
+// autoPlace resolves cfg.AutoPlace: it derives the job's traffic profile,
+// optimizes the node→machine assignment starting from cfg.Topo (which may
+// be nil — then AutoPlace.PerNode must be set), and returns the config
+// with the optimized topology installed.
+func autoPlace(job Job, cfg Config) (Config, place.Result, error) {
+	prof, err := JobProfile(job, cfg.Nodes)
+	if err != nil {
+		return cfg, place.Result{}, err
+	}
+	res, err := place.Optimize(prof, cfg.Topo, *cfg.AutoPlace)
+	if err != nil {
+		return cfg, place.Result{}, fmt.Errorf("cluster: auto-place %q: %w", job.Name, err)
+	}
+	cfg.Topo = res.Topo
+	return cfg, res, nil
+}

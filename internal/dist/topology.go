@@ -36,14 +36,17 @@ type nodeDecomp struct {
 // placement (or a purely node-local or one-rank-per-node group) keeps the
 // flat algorithms — bitwise-identically to a World with no topology.
 func commHier(w *World, members []*Rank) bool {
-	if w.topo == nil || len(members) < 2 {
+	// Flat() is precomputed, so a one-rank-per-node World answers without
+	// walking the members at all.
+	if w.topo == nil || len(members) < 2 || w.topo.Flat() {
 		return false
 	}
 	counts := make(map[int]int, len(members))
 	shared := false
 	for _, r := range members {
-		counts[w.nodeOf(r.id)]++
-		if counts[w.nodeOf(r.id)] > 1 {
+		nd := w.nodeOf(r.id)
+		counts[nd]++
+		if counts[nd] > 1 {
 			shared = true
 		}
 	}

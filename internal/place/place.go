@@ -1,0 +1,234 @@
+// Package place is the placement-optimization subsystem: it turns the
+// placement-aware virtual clock of PR 4 from a pricing instrument into a
+// search objective. Every layer built so far *takes* the rank→node
+// placement as given — the simnet Meter and Network price it, the dist
+// collectives route around it — but on the paper's fixed machine (64
+// Marenostrum III nodes × 16 cores) placement is the one free knob an
+// application controls, and a bad assignment costs real makespan.
+//
+// The pipeline has three stages:
+//
+//   - Profile: a directed rank-pair traffic matrix (message count and
+//     bytes per payload size), captured either by recording a live
+//     dist.Sim transport (Sim.Record) or derived statically from a
+//     cluster.Job's dependency edges (cluster.JobProfile).
+//   - Evaluate: replay a profile through a fresh simnet.Meter under any
+//     candidate topology, yielding the link-occupancy makespan and wire
+//     bytes that placement would have cost. Replay is exact: the meter's
+//     per-link accumulation is order-independent, so an evaluated makespan
+//     is bitwise the makespan a real run of the same traffic would report.
+//   - Optimize: search assignments — a greedy co-location seed packs the
+//     heaviest-communicating pairs onto shared nodes, then budgeted local
+//     search (pairwise swap / relocate hill-climbing, deterministic under
+//     an xrand seed) refines it. The result never evaluates worse than
+//     the input placement.
+//
+// Limits, by construction: the objective is the meter's link-occupancy
+// lower bound — per-link serialization without causal gaps — so a
+// placement optimized here is optimized for contention, not for schedule
+// overlap; and profiles are static, so traffic that adapts to the
+// placement (hierarchical collectives re-routing under the new topology)
+// is re-profiled by the caller if they want a second pass. DESIGN.md §9.
+package place
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"appfit/internal/simnet"
+	"appfit/internal/simtime"
+)
+
+// Named errors of the placement layer.
+var (
+	// ErrProfile reports a malformed profile operation: no ranks, or a
+	// rank id outside [0, ranks).
+	ErrProfile = errors.New("place: invalid profile")
+	// ErrRanks reports a profile evaluated against a topology that places
+	// fewer ranks than the profile traffics.
+	ErrRanks = errors.New("place: profile exceeds topology ranks")
+	// ErrOptions reports optimizer options that describe no feasible
+	// machine: non-positive capacity, or fewer node slots than ranks.
+	ErrOptions = errors.New("place: invalid optimizer options")
+)
+
+// pairTraffic aggregates one directed (src, dst) pair's traffic. Message
+// counts are kept per payload size because the meter rounds each message's
+// transfer time individually: n messages of b bytes do not price like one
+// message of n·b bytes, and Evaluate promises bitwise-exact replay.
+type pairTraffic struct {
+	messages uint64
+	bytes    int64
+	sizes    map[int64]uint64 // payload size → message count
+}
+
+// Profile is a directed rank-pair traffic matrix: who sent how much to
+// whom, message by message. It is the optimizer's input and the common
+// output of the two capture paths (dist.Sim recording, cluster.JobProfile).
+// Not safe for concurrent use; recording transports serialize around it.
+type Profile struct {
+	ranks int
+	pairs map[[2]int]*pairTraffic
+
+	// entries caches the deterministic flattened view replay iterates;
+	// invalidated by Add.
+	entries []Entry
+}
+
+// Entry is one (src, dst, payload size) aggregate of a Profile's
+// deterministic flattened view: Count messages of Bytes each.
+type Entry struct {
+	Src, Dst int
+	Bytes    int64
+	Count    uint64
+}
+
+// NewProfile returns an empty profile over ranks ranks. It panics on
+// ranks < 1 — like the simnet constructors, a profile over no ranks is
+// always a programmer error.
+func NewProfile(ranks int) *Profile {
+	if ranks < 1 {
+		panic(fmt.Errorf("place: profile over %d ranks: %w", ranks, ErrProfile))
+	}
+	return &Profile{ranks: ranks, pairs: make(map[[2]int]*pairTraffic)}
+}
+
+// Ranks returns the number of ranks the profile traffics.
+func (p *Profile) Ranks() int { return p.ranks }
+
+// Add records one src→dst message of bytes payload. Out-of-range ranks
+// panic with a wrapped ErrProfile (programmer error: the recorder is wired
+// to a World whose ranks are bounded by construction). Negative bytes
+// clamp to 0, mirroring Config.TransferTime.
+func (p *Profile) Add(src, dst int, bytes int64) {
+	p.AddN(src, dst, bytes, 1)
+}
+
+// AddN records n identical src→dst messages of bytes each — one aggregate
+// update, not n Adds, so pre-counted traffic (a job's iteration pattern)
+// folds in at constant cost per entry.
+func (p *Profile) AddN(src, dst int, bytes int64, n uint64) {
+	if src < 0 || src >= p.ranks || dst < 0 || dst >= p.ranks {
+		panic(fmt.Errorf("place: message %d→%d in a %d-rank profile: %w", src, dst, p.ranks, ErrProfile))
+	}
+	if n == 0 {
+		return
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	pt := p.pairs[[2]int{src, dst}]
+	if pt == nil {
+		pt = &pairTraffic{sizes: make(map[int64]uint64)}
+		p.pairs[[2]int{src, dst}] = pt
+	}
+	pt.messages += n
+	pt.bytes += int64(n) * bytes
+	pt.sizes[bytes] += n
+	p.entries = nil
+}
+
+// Messages returns the total recorded message count.
+func (p *Profile) Messages() uint64 {
+	var n uint64
+	for _, pt := range p.pairs {
+		n += pt.messages
+	}
+	return n
+}
+
+// Bytes returns the total recorded payload bytes.
+func (p *Profile) Bytes() int64 {
+	var n int64
+	for _, pt := range p.pairs {
+		n += pt.bytes
+	}
+	return n
+}
+
+// Pair returns the recorded traffic of the directed (src, dst) pair.
+func (p *Profile) Pair(src, dst int) (messages uint64, bytes int64) {
+	if pt := p.pairs[[2]int{src, dst}]; pt != nil {
+		return pt.messages, pt.bytes
+	}
+	return 0, 0
+}
+
+// Entries returns the profile flattened to (src, dst, size, count)
+// aggregates in deterministic order (ascending src, dst, size). The slice
+// is shared and must not be mutated.
+func (p *Profile) Entries() []Entry {
+	if p.entries != nil {
+		return p.entries
+	}
+	keys := make([][2]int, 0, len(p.pairs))
+	for k := range p.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	es := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		pt := p.pairs[k]
+		sizes := make([]int64, 0, len(pt.sizes))
+		for s := range pt.sizes {
+			sizes = append(sizes, s)
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		for _, s := range sizes {
+			es = append(es, Entry{Src: k[0], Dst: k[1], Bytes: s, Count: pt.sizes[s]})
+		}
+	}
+	p.entries = es
+	return es
+}
+
+// Eval is the priced outcome of one placement candidate: the meter's
+// link-occupancy makespan and its traffic accounting for the profile
+// replayed under that topology.
+type Eval struct {
+	Makespan  simtime.Time
+	WireBytes int64
+	Messages  uint64
+	BytesSent int64
+}
+
+// Better reports whether e beats o as a placement objective: strictly
+// lower makespan, or equal makespan with strictly fewer wire bytes (the
+// meter cannot see contention that never queued, but fewer bytes on the
+// cables is still the better placement).
+func (e Eval) Better(o Eval) bool {
+	if e.Makespan != o.Makespan {
+		return e.Makespan < o.Makespan
+	}
+	return e.WireBytes < o.WireBytes
+}
+
+// Evaluate replays the profile through a fresh simnet.Meter under topo and
+// returns what the traffic would have cost on that placement. The meter's
+// per-link accumulation is order-independent, so the makespan is bitwise
+// the one a live dist.Sim run of the same messages on the same topology
+// reports (TestEvaluateMatchesLiveSim), whatever order the live schedule
+// charged them in. A topology placing fewer ranks than the profile returns
+// a wrapped ErrRanks.
+func Evaluate(p *Profile, topo *simnet.Topology) (Eval, error) {
+	if topo.Ranks() < p.ranks {
+		return Eval{}, fmt.Errorf("place: %d-rank profile on a %d-rank topology: %w",
+			p.ranks, topo.Ranks(), ErrRanks)
+	}
+	m := simnet.NewMeter(topo)
+	for _, e := range p.Entries() {
+		m.ChargeMany(e.Src, e.Dst, e.Bytes, e.Count)
+	}
+	return Eval{
+		Makespan:  m.Now(),
+		WireBytes: m.WireBytes(),
+		Messages:  m.Messages(),
+		BytesSent: m.BytesSent(),
+	}, nil
+}

@@ -1,0 +1,265 @@
+package place
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"appfit/internal/simnet"
+	"appfit/internal/xrand"
+)
+
+func mustTopo(t *testing.T, nodeOf []int) *simnet.Topology {
+	t.Helper()
+	topo, err := simnet.NewTopology(nodeOf, simnet.MemoryBus(), simnet.Marenostrum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestProfileAccounting(t *testing.T) {
+	p := NewProfile(4)
+	p.Add(0, 1, 100)
+	p.Add(0, 1, 100)
+	p.Add(0, 1, 50)
+	p.AddN(2, 3, 10, 3)
+	p.Add(1, 1, 7) // self traffic is recorded too
+
+	if got := p.Messages(); got != 7 {
+		t.Fatalf("Messages = %d, want 7", got)
+	}
+	if got := p.Bytes(); got != 100+100+50+30+7 {
+		t.Fatalf("Bytes = %d", got)
+	}
+	if m, b := p.Pair(0, 1); m != 3 || b != 250 {
+		t.Fatalf("Pair(0,1) = %d msgs %d bytes", m, b)
+	}
+	if m, b := p.Pair(1, 0); m != 0 || b != 0 {
+		t.Fatalf("Pair(1,0) = %d msgs %d bytes, want empty (directed)", m, b)
+	}
+	want := []Entry{
+		{Src: 0, Dst: 1, Bytes: 50, Count: 1},
+		{Src: 0, Dst: 1, Bytes: 100, Count: 2},
+		{Src: 1, Dst: 1, Bytes: 7, Count: 1},
+		{Src: 2, Dst: 3, Bytes: 10, Count: 3},
+	}
+	if got := p.Entries(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Entries = %+v, want %+v", got, want)
+	}
+	// The cache must invalidate on Add.
+	p.Add(3, 0, 1)
+	if got := p.Entries(); len(got) != 5 {
+		t.Fatalf("Entries after Add = %+v", got)
+	}
+}
+
+func TestProfileBoundsPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("out-of-range Add must panic")
+		} else if err, ok := r.(error); !ok || !errors.Is(err, ErrProfile) {
+			t.Fatalf("panic %v, want wrapped ErrProfile", r)
+		}
+	}()
+	NewProfile(2).Add(0, 2, 1)
+}
+
+// TestEvaluateMatchesMeter pins Evaluate to the meter it claims to replay
+// through: hand-charging the same entries must agree exactly.
+func TestEvaluateMatchesMeter(t *testing.T) {
+	topo := mustTopo(t, []int{0, 0, 1, 1})
+	p := NewProfile(4)
+	p.AddN(0, 2, 4096, 5) // wire
+	p.AddN(0, 1, 4096, 5) // bus
+	p.Add(3, 3, 1<<20)    // self: free
+
+	m := simnet.NewMeter(topo)
+	for _, e := range p.Entries() {
+		m.ChargeMany(e.Src, e.Dst, e.Bytes, e.Count)
+	}
+	ev, err := Evaluate(p, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Makespan != m.Now() || ev.WireBytes != m.WireBytes() ||
+		ev.Messages != m.Messages() || ev.BytesSent != m.BytesSent() {
+		t.Fatalf("Evaluate = %+v, meter = (%d, %d, %d, %d)",
+			ev, m.Now(), m.WireBytes(), m.Messages(), m.BytesSent())
+	}
+
+	if _, err := Evaluate(p, mustTopo(t, []int{0, 1})); !errors.Is(err, ErrRanks) {
+		t.Fatalf("short topology: err = %v, want ErrRanks", err)
+	}
+}
+
+// randomProfile builds a reproducible random traffic matrix.
+func randomProfile(rng *xrand.Rand, ranks int) *Profile {
+	p := NewProfile(ranks)
+	msgs := 1 + rng.Intn(64)
+	for i := 0; i < msgs; i++ {
+		p.AddN(rng.Intn(ranks), rng.Intn(ranks), rng.Int63n(1<<16), 1+uint64(rng.Intn(4)))
+	}
+	return p
+}
+
+// randomAssign places ranks on up to nodes nodes, capacity-free (the
+// derived Options will adopt whatever capacity this needs).
+func randomAssign(rng *xrand.Rand, ranks, nodes int) []int {
+	assign := make([]int, ranks)
+	for r := range assign {
+		assign[r] = rng.Intn(nodes)
+	}
+	return assign
+}
+
+// TestOptimizeNeverWorseThanInput is optimizer property (a): with the
+// machine derived from the input placement, the returned placement never
+// evaluates worse than the input (makespan first, wire bytes on ties).
+func TestOptimizeNeverWorseThanInput(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		ranks := 2 + rng.Intn(14)
+		p := randomProfile(rng, ranks)
+		start, err := simnet.NewTopology(randomAssign(rng, ranks, 1+rng.Intn(ranks)),
+			simnet.MemoryBus(), simnet.Marenostrum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(p, start, Options{Seed: seed, Budget: 32})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if res.Eval.Makespan > res.Input.Makespan {
+			t.Logf("seed %d: optimized %d > input %d", seed, res.Eval.Makespan, res.Input.Makespan)
+			return false
+		}
+		// Result.Eval must be honest: re-evaluating the returned topology
+		// reproduces it.
+		re, err := Evaluate(p, res.Topo)
+		if err != nil || re != res.Eval {
+			t.Logf("seed %d: re-eval %+v != reported %+v (err %v)", seed, re, res.Eval, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizeDeterministic is optimizer property (c): a fixed seed
+// reproduces the identical trajectory and placement.
+func TestOptimizeDeterministic(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		ranks := 2 + rng.Intn(14)
+		p := randomProfile(rng, ranks)
+		opts := Options{PerNode: 1 + rng.Intn(4), Seed: seed, Budget: 32}
+		a, errA := Optimize(p, nil, opts)
+		b, errB := Optimize(p, nil, opts)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			// Infeasible machines must at least fail deterministically.
+			return errors.Is(errA, ErrOptions) == errors.Is(errB, ErrOptions)
+		}
+		if !reflect.DeepEqual(a.Trajectory, b.Trajectory) || a.Eval != b.Eval {
+			t.Logf("seed %d: trajectories diverge", seed)
+			return false
+		}
+		for r := 0; r < ranks; r++ {
+			if a.Topo.NodeOf(r) != b.Topo.NodeOf(r) {
+				t.Logf("seed %d: placements diverge at rank %d", seed, r)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizeColocatesPairs is the end-to-end sanity check behind the
+// experiments table: on pair-partner traffic (the halo pattern) with room
+// to co-locate every pair, the optimizer must reach the block placement's
+// price from a scattered one — all traffic on the memory bus, zero wire
+// bytes.
+func TestOptimizeColocatesPairs(t *testing.T) {
+	const ranks, perNode = 16, 4
+	p := NewProfile(ranks)
+	for r := 0; r < ranks; r++ {
+		p.AddN(r, r^1, 32768, 8)
+	}
+	// Round-robin start: every pair split across nodes.
+	scatter := make([]int, ranks)
+	for r := range scatter {
+		scatter[r] = r % (ranks / perNode)
+	}
+	start := mustTopo(t, scatter)
+	res, err := Optimize(p, start, Options{PerNode: perNode, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := Evaluate(p, mustTopo(t, []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eval.WireBytes != 0 {
+		t.Fatalf("optimized placement leaks %d wire bytes; trajectory %+v", res.Eval.WireBytes, res.Trajectory)
+	}
+	if res.Eval.Makespan > block.Makespan {
+		t.Fatalf("optimized %d > block %d", res.Eval.Makespan, block.Makespan)
+	}
+	if res.Eval.Makespan >= res.Input.Makespan {
+		t.Fatalf("optimized %d must strictly beat the scattered input %d", res.Eval.Makespan, res.Input.Makespan)
+	}
+}
+
+func TestOptimizeOptionErrors(t *testing.T) {
+	p := NewProfile(4)
+	p.Add(0, 1, 1)
+	if _, err := Optimize(p, nil, Options{}); !errors.Is(err, ErrOptions) {
+		t.Fatalf("no capacity and no input: err = %v, want ErrOptions", err)
+	}
+	if _, err := Optimize(p, nil, Options{PerNode: 1, Nodes: 2}); !errors.Is(err, ErrOptions) {
+		t.Fatalf("4 ranks on 2×1 machine: err = %v, want ErrOptions", err)
+	}
+	short := mustTopo(t, []int{0, 0})
+	if _, err := Optimize(p, short, Options{}); !errors.Is(err, ErrRanks) {
+		t.Fatalf("short input placement: err = %v, want ErrRanks", err)
+	}
+}
+
+// TestOptimizeWideMachine covers a machine with more node slots than
+// ranks: relocations must stay constructible (node ids are bounded by the
+// rank count in simnet.NewTopology), so the search clamps to ranks nodes
+// — which loses nothing, since an assignment can occupy at most one node
+// per rank.
+func TestOptimizeWideMachine(t *testing.T) {
+	p := NewProfile(4)
+	p.AddN(0, 1, 4096, 4)
+	p.AddN(2, 3, 4096, 4)
+	res, err := Optimize(p, nil, Options{PerNode: 1, Nodes: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if nd := res.Topo.NodeOf(r); nd < 0 || nd >= 4 {
+			t.Fatalf("rank %d on node %d of a clamped 4-node machine", r, nd)
+		}
+	}
+	// PerNode 1 forces everything onto the wire; with capacity 2 the wide
+	// machine must still co-locate the pairs.
+	res2, err := Optimize(p, nil, Options{PerNode: 2, Nodes: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Eval.WireBytes != 0 {
+		t.Fatalf("wide machine with room: %d wire bytes", res2.Eval.WireBytes)
+	}
+}

@@ -1,0 +1,127 @@
+package simnet
+
+import (
+	"testing"
+
+	"appfit/internal/simtime"
+)
+
+// TestSelfSendContract locks the self-send accounting contract documented
+// on links to both pricing engines at once: a src == dst payload counts in
+// Messages and BytesSent, never in WireBytes, occupies no link, and is
+// delivered immediately — Meter.Charge returns 0 whatever makespan other
+// traffic accumulated, and Network.Send fires at the engine's current
+// time. One table drives a flat and a placed instance of each engine so
+// the engines (and their flat/topo variants) cannot drift apart.
+func TestSelfSendContract(t *testing.T) {
+	cfg := Marenostrum()
+	topoOf := func() *Topology {
+		topo, err := NewTopology([]int{0, 0, 1, 1}, MemoryBus(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+
+	// accounts abstracts the links counters both engines promote.
+	type accounts interface {
+		Messages() uint64
+		BytesSent() int64
+		WireBytes() int64
+	}
+	// drive sends pre bytes from 0 to 2 (a cross-link payload raising the
+	// clock), then a self-send of bytes on rank 1, and returns the
+	// self-send's delivery time.
+	engines := []struct {
+		name string
+		run  func(pre, bytes int64) (accounts, simtime.Time)
+	}{
+		{"meter/flat", func(pre, bytes int64) (accounts, simtime.Time) {
+			m := NewFlatMeter(cfg)
+			m.Charge(0, 2, pre)
+			return m, m.Charge(1, 1, bytes)
+		}},
+		{"meter/topo", func(pre, bytes int64) (accounts, simtime.Time) {
+			m := NewMeter(topoOf())
+			m.Charge(0, 2, pre)
+			return m, m.Charge(1, 1, bytes)
+		}},
+		{"meter/topo/many", func(pre, bytes int64) (accounts, simtime.Time) {
+			m := NewMeter(topoOf())
+			m.ChargeMany(0, 2, pre, 1)
+			return m, m.ChargeMany(1, 1, bytes, 1)
+		}},
+		{"network/flat", func(pre, bytes int64) (accounts, simtime.Time) {
+			eng := simtime.New()
+			n := New(eng, cfg)
+			n.Send(0, 2, pre, func() {})
+			var at simtime.Time = -1
+			n.Send(1, 1, bytes, func() { at = eng.Now() })
+			eng.Run()
+			return n, at
+		}},
+		{"network/topo", func(pre, bytes int64) (accounts, simtime.Time) {
+			eng := simtime.New()
+			n := NewWithTopology(eng, topoOf())
+			n.Send(0, 2, pre, func() {})
+			var at simtime.Time = -1
+			n.Send(1, 1, bytes, func() { at = eng.Now() })
+			eng.Run()
+			return n, at
+		}},
+	}
+
+	const pre, bytes = 1 << 20, 4096
+	for _, e := range engines {
+		t.Run(e.name, func(t *testing.T) {
+			acc, at := e.run(pre, bytes)
+			if got := acc.Messages(); got != 2 {
+				t.Errorf("Messages = %d, want 2 (self-sends count)", got)
+			}
+			if got := acc.BytesSent(); got != pre+bytes {
+				t.Errorf("BytesSent = %d, want %d (self-sends count)", got, pre+bytes)
+			}
+			if got := acc.WireBytes(); got != pre {
+				t.Errorf("WireBytes = %d, want %d (self-sends never cross the wire)", got, pre)
+			}
+			if at != 0 {
+				t.Errorf("self-send delivered at %d, want 0 (immediate, independent of other traffic)", at)
+			}
+		})
+	}
+}
+
+// TestChargeManyMatchesCharge pins ChargeMany's defining property: n
+// batched identical transfers account bitwise like n successive Charge
+// calls — same makespan (latency rounds per message), same totals.
+func TestChargeManyMatchesCharge(t *testing.T) {
+	topo, err := NewTopology([]int{0, 0, 1, 1}, MemoryBus(), Marenostrum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, many := NewMeter(topo), NewMeter(topo)
+	sends := []struct {
+		src, dst int
+		bytes    int64
+		n        uint64
+	}{
+		{0, 2, 777, 13}, // wire
+		{0, 1, 777, 13}, // intra
+		{2, 0, 1 << 16, 3},
+		{3, 3, 999, 5}, // self
+	}
+	for _, s := range sends {
+		for i := uint64(0); i < s.n; i++ {
+			one.Charge(s.src, s.dst, s.bytes)
+		}
+		many.ChargeMany(s.src, s.dst, s.bytes, s.n)
+	}
+	if one.Now() != many.Now() {
+		t.Fatalf("makespan: charge-loop %d != ChargeMany %d", one.Now(), many.Now())
+	}
+	if one.Messages() != many.Messages() || one.BytesSent() != many.BytesSent() || one.WireBytes() != many.WireBytes() {
+		t.Fatalf("totals diverge: (%d,%d,%d) != (%d,%d,%d)",
+			one.Messages(), one.BytesSent(), one.WireBytes(),
+			many.Messages(), many.BytesSent(), many.WireBytes())
+	}
+}

@@ -50,16 +50,44 @@ func NewFlatMeter(cfg Config) *Meter {
 }
 
 // Charge accounts one src→dst transfer of bytes and returns the virtual
-// time its link falls idle again. Same-rank transfers are free and do not
-// occupy a link.
+// time its link falls idle again. Same-rank transfers follow the links
+// self-send contract: counted in Messages/BytesSent, never WireBytes, no
+// link occupancy, and Charge returns 0 — the self-delivery is immediate in
+// virtual time, not gated on the makespan other traffic has built up.
 func (m *Meter) Charge(src, dst int, bytes int64) simtime.Time {
 	m.messages++
 	m.bytesSent += bytes
 	if src == dst {
-		return m.makespan
+		return 0
 	}
 	cfg, table, link := m.route(src, dst, bytes)
 	end := table[link] + cfg.TransferTime(bytes)
+	table[link] = end
+	if end > m.makespan {
+		m.makespan = end
+	}
+	return end
+}
+
+// ChargeMany accounts n identical src→dst transfers of bytes each, exactly
+// as n successive Charge calls would (the per-message latency is rounded
+// per message, so a batch is not one big transfer), and returns the virtual
+// time of the last delivery. It exists for profile replay
+// (internal/place.Evaluate), where a traffic matrix stores message counts
+// per payload size and replaying count× through Charge would only repeat
+// the same integer addition. n == 0 accounts nothing and returns the
+// current makespan.
+func (m *Meter) ChargeMany(src, dst int, bytes int64, n uint64) simtime.Time {
+	if n == 0 {
+		return m.makespan
+	}
+	m.messages += n
+	m.bytesSent += int64(n) * bytes
+	if src == dst {
+		return 0
+	}
+	cfg, table, link := m.route(src, dst, int64(n)*bytes)
+	end := table[link] + simtime.Time(n)*cfg.TransferTime(bytes)
 	table[link] = end
 	if end > m.makespan {
 		m.makespan = end

@@ -64,6 +64,7 @@ func MemoryBus() Config {
 type Topology struct {
 	nodeOf []int
 	nodes  int
+	flat   bool
 	intra  Config
 	inter  Config
 }
@@ -85,6 +86,8 @@ func NewTopology(nodeOf []int, intra, inter Config) (*Topology, error) {
 		return nil, fmt.Errorf("inter: %w", err)
 	}
 	t := &Topology{nodeOf: make([]int, n), intra: intra, inter: inter}
+	seen := make([]bool, n)
+	t.flat = true
 	for r, nd := range nodeOf {
 		if nd < 0 || nd >= n {
 			return nil, fmt.Errorf("simnet: rank %d on node %d of %d ranks: %w", r, nd, n, ErrTopology)
@@ -93,6 +96,10 @@ func NewTopology(nodeOf []int, intra, inter Config) (*Topology, error) {
 		if nd+1 > t.nodes {
 			t.nodes = nd + 1
 		}
+		if seen[nd] {
+			t.flat = false
+		}
+		seen[nd] = true
 	}
 	return t, nil
 }
@@ -173,6 +180,16 @@ func (t *Topology) Route(src, dst int) (cfg Config, link [2]int, wire bool) {
 // serialization table per link kind, and wire accounting — so routing and
 // accounting cannot diverge between the event-driven simulator and the
 // transport meter. Not safe for concurrent use; owners serialize.
+//
+// Self-send contract (shared by both engines, locked by
+// TestSelfSendContract): a src == dst payload counts in Messages and
+// BytesSent — it was produced and delivered like any other — but never in
+// WireBytes, never occupies a link, and costs zero fabric time. The
+// engines express "free" in their own clocks: Network.Send delivers a
+// self-send at the engine's current time (after zero transfer, still
+// asynchronously), and Meter.Charge returns 0 for it — delivery is
+// immediate in virtual time, independent of whatever makespan other
+// traffic has accumulated.
 type links struct {
 	topo *Topology               // nil means flat: every rank its own node
 	flat Config                  // used only when topo == nil
@@ -227,13 +244,6 @@ func (l *links) WireBytes() int64 { return l.wireBytes }
 // Flat reports whether no two ranks share a node — the degenerate topology
 // under which placement-aware layers reproduce the old flat behavior
 // (hierarchical collectives stay disabled, every link prices as Inter).
-func (t *Topology) Flat() bool {
-	seen := make([]bool, t.nodes)
-	for _, nd := range t.nodeOf {
-		if seen[nd] {
-			return false
-		}
-		seen[nd] = true
-	}
-	return true
-}
+// Flatness is precomputed at construction, so callers on hot paths (the
+// dist collectives' algorithm selection) may consult it per operation.
+func (t *Topology) Flat() bool { return t.flat }
