@@ -286,6 +286,12 @@ type (
 	// PlaceResult is an optimization outcome: best topology, its price,
 	// the input placement's price, and the evaluated trajectory.
 	PlaceResult = place.Result
+	// PlaceScorer prices individual swap/relocate moves incrementally —
+	// O(moved ranks' traffic degree) per candidate instead of a full
+	// profile replay — with Eval bitwise equal to EvaluatePlacement of the
+	// same assignment. The optimizer runs on it internally; it is exported
+	// for callers building their own searches (DESIGN.md §10).
+	PlaceScorer = place.Scorer
 )
 
 // NewProfile returns an empty traffic profile over ranks ranks.
@@ -299,16 +305,28 @@ func EvaluatePlacement(p *Profile, topo *Topology) (PlaceEval, error) {
 
 // OptimizePlacement searches rank→node assignments of profile p against
 // the meter's makespan: a greedy co-location seed refined by seeded local
-// search, never evaluating worse than the input placement start when the
-// machine is derived from it. start may be nil to search from scratch
-// (then opts.PerNode is required).
+// search over delta-priced moves, never evaluating worse than the input
+// placement start when the machine is derived from it. start may be nil
+// to search from scratch (then opts.PerNode is required). Set
+// opts.Anneal for simulated annealing instead of the default hill climb
+// — same budget, same determinism per seed, better at escaping local
+// minima on irregular traffic.
 func OptimizePlacement(p *Profile, start *Topology, opts PlaceOptions) (PlaceResult, error) {
 	return place.Optimize(p, start, opts)
 }
 
+// NewPlaceScorer builds an incremental evaluator for profile p starting
+// at the given rank→node assignment, with links priced by intra/inter.
+// Construction replays the profile once; every move after that is priced
+// by delta.
+func NewPlaceScorer(p *Profile, assign []int, intra, inter NetConfig) (*PlaceScorer, error) {
+	return place.NewScorer(p, assign, intra, inter)
+}
+
 // Named errors of the placement optimizer.
 var (
-	ErrPlaceProfile = place.ErrProfile
-	ErrPlaceRanks   = place.ErrRanks
-	ErrPlaceOptions = place.ErrOptions
+	ErrPlaceProfile  = place.ErrProfile
+	ErrPlaceRanks    = place.ErrRanks
+	ErrPlaceOptions  = place.ErrOptions
+	ErrPlaceCapacity = place.ErrCapacity
 )

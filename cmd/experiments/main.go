@@ -12,7 +12,7 @@
 //	experiments sparecores [bench]  overhead vs spare capacity
 //	experiments reliability [bench] corrupted-result counts per policy
 //	experiments topology            flat vs hierarchical collectives on the placed fabric
-//	experiments placement           random vs block vs optimized rank→node placement
+//	experiments placement           random vs block vs optimized vs annealed rank→node placement
 //	experiments all                 everything above
 //
 // Flags: -scale tiny|small|medium, -workers N, -repeats N.
@@ -121,7 +121,7 @@ func main() {
 			}
 			fmt.Println(s)
 		case "placement":
-			fmt.Println("=== Placement search: random vs block vs optimized (64 ranks, 16/node) ===")
+			fmt.Println("=== Placement search: random vs block vs optimized vs annealed (64 ranks, 16/node) ===")
 			_, s, err := experiments.PlacementTable(64, 16, 4096, 1)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)

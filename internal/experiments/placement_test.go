@@ -12,8 +12,8 @@ func TestPlacementTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
-		t.Fatalf("%d rows, want 2 workloads × 3 placements", len(rows))
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 2 workloads × 4 placements", len(rows))
 	}
 	byKey := map[string]PlacementRow{}
 	for _, r := range rows {
@@ -23,20 +23,28 @@ func TestPlacementTable(t *testing.T) {
 		byKey[r.Workload+"/"+r.Placement] = r
 	}
 	for _, wl := range []string{"halo", "nbody"} {
-		random, block, opt := byKey[wl+"/random"], byKey[wl+"/block"], byKey[wl+"/optimized"]
-		if opt.US > random.US {
-			t.Fatalf("%s: optimized %v µs worse than random %v µs", wl, opt.US, random.US)
+		random, block := byKey[wl+"/random"], byKey[wl+"/block"]
+		if random.Evals != 0 || block.Evals != 0 {
+			t.Fatalf("%s: fixed placements must report 0 evals: %v / %v", wl, random.Evals, block.Evals)
 		}
-		if opt.Evals == 0 || random.Evals != 0 || block.Evals != 0 {
-			t.Fatalf("%s: evals column wrong: %v / %v / %v", wl, random.Evals, block.Evals, opt.Evals)
+		for _, search := range []string{"optimized", "annealed"} {
+			opt := byKey[wl+"/"+search]
+			if opt.US > random.US {
+				t.Fatalf("%s: %s %v µs worse than random %v µs", wl, search, opt.US, random.US)
+			}
+			if opt.Evals == 0 {
+				t.Fatalf("%s: %s row reports no evaluations", wl, search)
+			}
 		}
 	}
-	// Halo: pairwise traffic, room for every pair — the optimizer must
+	// Halo: pairwise traffic, room for every pair — both searches must
 	// fully co-locate (zero wire bytes), matching block.
-	if opt := byKey["halo/optimized"]; opt.WireMB != 0 || opt.US > byKey["halo/block"].US {
-		t.Fatalf("halo optimized must recover the block placement: %+v vs %+v", opt, byKey["halo/block"])
+	for _, search := range []string{"optimized", "annealed"} {
+		if opt := byKey["halo/"+search]; opt.WireMB != 0 || opt.US > byKey["halo/block"].US {
+			t.Fatalf("halo %s must recover the block placement: %+v vs %+v", search, opt, byKey["halo/block"])
+		}
 	}
-	for _, want := range []string{"halo", "nbody", "random", "block", "optimized", "makespan"} {
+	for _, want := range []string{"halo", "nbody", "random", "block", "optimized", "annealed", "makespan"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("rendered table missing %q:\n%s", want, s)
 		}

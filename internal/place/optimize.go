@@ -2,6 +2,7 @@ package place
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"appfit/internal/simnet"
@@ -28,8 +29,26 @@ type Options struct {
 	Seed uint64
 	// Budget is the number of local-search evaluations after the seed
 	// candidates (default 256; <0 disables local search, keeping the
-	// better of the greedy seed and the input).
+	// better of the greedy seed and the input). Only candidates that were
+	// actually priced count: a proposal round that finds nothing movable
+	// (all ranks node-mates, no spare slot reachable) spends no budget. A
+	// machine that keeps failing to propose — degenerate, e.g. one node —
+	// ends the search instead of spinning.
 	Budget int
+	// Anneal switches the local search from pure hill-climbing to
+	// simulated annealing: an uphill candidate is accepted with
+	// probability exp(-Δmakespan/T) under a geometric cooling schedule
+	// from Temp down to one virtual nanosecond across the budget, letting
+	// irregular traffic escape the local minima greedy descent gets stuck
+	// in. The result still reports the best placement ever priced (not
+	// the final incumbent), so the never-worse-than-the-input guarantee
+	// is unchanged, and acceptance draws come from the same Seed stream,
+	// so annealed searches are exactly as reproducible as greedy ones.
+	Anneal bool
+	// Temp is the annealing start temperature in virtual nanoseconds;
+	// 0 derives it as 5% of the search start's makespan (at least 1).
+	// Ignored unless Anneal is set.
+	Temp float64
 }
 
 // Step is one evaluated candidate of the optimization trajectory.
@@ -68,10 +87,14 @@ func (r Result) Evals() int { return len(r.Trajectory) }
 //
 // The search is a greedy co-location seed refined by budgeted local
 // search. The seed packs the heaviest-communicating unordered rank pairs
-// onto shared nodes first, respecting capacity; local search hill-climbs
-// with pairwise swaps and (when the machine has spare slots) relocations,
-// drawn from a deterministic xrand stream, accepting only strictly better
-// candidates (Eval.Better: makespan, then wire bytes).
+// onto shared nodes first, respecting capacity; local search proposes
+// pairwise swaps and (when the machine has spare slots) relocations drawn
+// from a deterministic xrand stream, priced incrementally through a Scorer
+// (O(degree of the moved ranks) per candidate, not a full replay —
+// DESIGN.md §10), accepting strictly better candidates (Eval.Better:
+// makespan, then wire bytes) — or, with Options.Anneal, uphill ones under
+// a cooling schedule, with the best placement ever priced still the one
+// returned.
 //
 // Whenever the input placement fits the machine — always, when PerNode
 // and Nodes are derived from it — it competes as a candidate, so the
@@ -206,75 +229,166 @@ func Optimize(p *Profile, start *simnet.Topology, opts Options) (Result, error) 
 			cur, curEval = inputAssign, ev
 		}
 	}
-	if err := consider("greedy", greedySeed(p, nodes, perNode)); err != nil {
+	seed, err := greedySeed(p, nodes, perNode)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := consider("greedy", seed); err != nil {
 		return Result{}, err
 	}
 
-	// Budgeted hill-climb: swaps exchange two ranks across nodes,
-	// relocations move one rank into a spare slot.
-	rng := xrand.New(opts.Seed)
-	load := make([]int, nodes)
+	best, bestEval := cur, curEval
+	if budget > 0 && nodes >= 2 {
+		best, bestEval, err = localSearch(p, cur, curEval, searchConfig{
+			intra: intra, inter: inter,
+			nodes: nodes, perNode: perNode,
+			budget: budget, seed: opts.Seed,
+			anneal: opts.Anneal, temp: opts.Temp,
+		}, &res.Trajectory)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	topo, err := simnet.NewTopology(best, intra, inter)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Topo, res.Eval = topo, bestEval
+	return res, nil
+}
+
+type searchConfig struct {
+	intra, inter   simnet.Config
+	nodes, perNode int
+	budget         int
+	seed           uint64
+	anneal         bool
+	temp           float64
+}
+
+// optimizeHook, when non-nil, observes the local search's bookkeeping
+// after every priced candidate: the incumbent assignment and the per-node
+// load array. Test-only — the trajectory-long invariant that load always
+// matches the incumbent (TestOptimizeLoadInvariant) lives behind it.
+var optimizeHook func(cur, load []int)
+
+// localSearch refines the incumbent by budgeted swap/relocate moves priced
+// incrementally through a Scorer — O(degree of the moved ranks) per
+// candidate instead of a full profile replay (DESIGN.md §10). Hill-climbing
+// by default (accept only strictly Better), simulated annealing when
+// cfg.anneal is set. Returns the best assignment ever priced and its Eval;
+// every priced candidate is appended to traj.
+func localSearch(p *Profile, start []int, startEval Eval, cfg searchConfig, traj *[]Step) ([]int, Eval, error) {
+	sc, err := NewScorer(p, start, cfg.intra, cfg.inter)
+	if err != nil {
+		return nil, Eval{}, err
+	}
+	ranks := len(start)
+	rng := xrand.New(cfg.seed)
+
+	// cur mirrors the scorer's committed assignment; load tracks per-node
+	// occupancy so relocation proposals stay capacity-feasible. Accepted
+	// moves update both in O(1); rejected moves never touch them (the
+	// scorer rolls back internally), so there is nothing to rebuild.
+	cur := append([]int(nil), start...)
+	curEval := startEval
+	load := make([]int, cfg.nodes)
 	for _, nd := range cur {
 		load[nd]++
 	}
-	spare := nodes*perNode - ranks
-	for i := 0; i < budget; i++ {
-		next := append([]int(nil), cur...)
+	best, bestEval := append([]int(nil), cur...), curEval
+
+	// Annealing schedule: geometric cooling from t0 to 1 virtual ns across
+	// the budget. exp(-Δ/T) with Δ ≥ 0 (Δ = 0 is an equal-makespan plateau
+	// step, always accepted while annealing — sideways diffusion).
+	t0 := cfg.temp
+	if t0 <= 0 {
+		t0 = float64(curEval.Makespan) * 0.05
+	}
+	if t0 < 1 {
+		t0 = 1
+	}
+	cool := math.Pow(1/t0, 1/float64(cfg.budget))
+	temp := t0
+
+	spare := cfg.nodes*cfg.perNode - ranks
+	// A proposal round that finds nothing movable spends no budget
+	// (Options.Budget counts priced candidates); maxFailStreak consecutive
+	// empty rounds means the machine is degenerate — end the search.
+	const maxFailStreak = 64
+	failStreak := 0
+	for evals := 0; evals < cfg.budget && failStreak < maxFailStreak; {
 		move := "swap"
 		if spare > 0 && rng.Intn(4) == 0 {
 			move = "relocate"
 		}
 		ok := false
+		var a, b, nd int
 		for try := 0; try < 8 && !ok; try++ {
-			a := rng.Intn(ranks)
+			a = rng.Intn(ranks)
 			if move == "swap" {
-				b := rng.Intn(ranks)
-				if next[a] != next[b] {
-					next[a], next[b] = next[b], next[a]
-					ok = true
-				}
+				b = rng.Intn(ranks)
+				ok = cur[a] != cur[b]
 			} else {
-				nd := rng.Intn(nodes)
-				if nd != next[a] && load[nd] < perNode {
-					load[next[a]]--
-					load[nd]++
-					next[a] = nd
-					ok = true
-				}
+				nd = rng.Intn(cfg.nodes)
+				ok = nd != cur[a] && load[nd] < cfg.perNode
 			}
 		}
 		if !ok {
-			continue // degenerate machine (e.g. one node): nothing to move
+			failStreak++
+			continue
 		}
-		before := len(res.Trajectory)
-		if err := consider(move, next); err != nil {
-			return Result{}, err
-		}
-		if !res.Trajectory[before].Accepted && move == "relocate" {
-			// Revert the load bookkeeping of a rejected relocation.
-			for nd := range load {
-				load[nd] = 0
-			}
-			for _, nd := range cur {
-				load[nd]++
-			}
-		}
-	}
+		failStreak = 0
+		evals++
 
-	topo, err := simnet.NewTopology(cur, intra, inter)
-	if err != nil {
-		return Result{}, err
+		var ev Eval
+		if move == "swap" {
+			ev = sc.Swap(a, b)
+		} else {
+			ev = sc.Relocate(a, nd)
+		}
+		accepted := ev.Better(curEval)
+		if !accepted && cfg.anneal {
+			delta := float64(ev.Makespan - curEval.Makespan)
+			accepted = rng.Float64() < math.Exp(-delta/temp)
+		}
+		if accepted {
+			sc.Commit()
+			if move == "swap" {
+				cur[a], cur[b] = cur[b], cur[a]
+			} else {
+				load[cur[a]]--
+				load[nd]++
+				cur[a] = nd
+			}
+			curEval = ev
+			if ev.Better(bestEval) {
+				copy(best, cur)
+				bestEval = ev
+			}
+		} else {
+			sc.Rollback()
+		}
+		*traj = append(*traj, Step{Move: move, Eval: ev, Accepted: accepted})
+		temp *= cool
+		if optimizeHook != nil {
+			optimizeHook(cur, load)
+		}
 	}
-	res.Topo, res.Eval = topo, curEval
-	return res, nil
+	return best, bestEval, nil
 }
 
 // greedySeed packs the heaviest-communicating unordered rank pairs onto
 // shared nodes first — the placement equivalent of the paper's
 // co-location intuition: 15/16 of a rank's neighbors should be reachable
 // over the memory bus. Remaining ranks first-fit into spare slots. The
-// result is deterministic: weights tie-break by pair index.
-func greedySeed(p *Profile, nodes, perNode int) []int {
+// result is deterministic: weights tie-break by pair index. A machine
+// without a slot for every rank returns a wrapped ErrCapacity — Optimize
+// validates nodes×perNode ≥ ranks before calling, so hitting it means
+// capacity accounting drifted, and an error keeps that failure at its
+// cause instead of an index panic.
+func greedySeed(p *Profile, nodes, perNode int) ([]int, error) {
 	ranks := p.Ranks()
 	type pairW struct {
 		a, b  int
@@ -351,9 +465,13 @@ func greedySeed(p *Profile, nodes, perNode int) []int {
 	for r := range assign {
 		if assign[r] < 0 {
 			nd := firstFit(1)
+			if nd < 0 {
+				return nil, fmt.Errorf("place: greedy seed: no free slot for rank %d on %d nodes × %d: %w",
+					r, nodes, perNode, ErrCapacity)
+			}
 			assign[r] = nd
 			load[nd]++
 		}
 	}
-	return assign
+	return assign, nil
 }

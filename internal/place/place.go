@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"appfit/internal/simnet"
 	"appfit/internal/simtime"
@@ -51,6 +52,11 @@ var (
 	// ErrOptions reports optimizer options that describe no feasible
 	// machine: non-positive capacity, or fewer node slots than ranks.
 	ErrOptions = errors.New("place: invalid optimizer options")
+	// ErrCapacity reports capacity-accounting drift inside the optimizer: a
+	// seed or move needed a free node slot on a machine that was validated
+	// to have one. Surfacing it as a named error keeps the failure at its
+	// cause instead of an index panic layers away.
+	ErrCapacity = errors.New("place: node capacity exhausted")
 )
 
 // pairTraffic aggregates one directed (src, dst) pair's traffic. Message
@@ -66,11 +72,19 @@ type pairTraffic struct {
 // Profile is a directed rank-pair traffic matrix: who sent how much to
 // whom, message by message. It is the optimizer's input and the common
 // output of the two capture paths (dist.Sim recording, cluster.JobProfile).
-// Not safe for concurrent use; recording transports serialize around it.
+// Recording (Add/AddN) is not safe for concurrent use — recording
+// transports serialize around it — but once recording is done the
+// read side (Entries, Evaluate, Optimize, NewScorer) may share one
+// profile across goroutines: the flattened-view cache is built under an
+// internal lock, so concurrent multi-seed searches need no copies.
 type Profile struct {
 	ranks int
 	pairs map[[2]int]*pairTraffic
 
+	// mu guards the entries cache build, making concurrent read-side use
+	// (parallel searches over one profile) safe. Add/AddN stay outside it:
+	// recording concurrent with reading is a caller error either way.
+	mu sync.Mutex
 	// entries caches the deterministic flattened view replay iterates;
 	// invalidated by Add.
 	entries []Entry
@@ -157,8 +171,11 @@ func (p *Profile) Pair(src, dst int) (messages uint64, bytes int64) {
 
 // Entries returns the profile flattened to (src, dst, size, count)
 // aggregates in deterministic order (ascending src, dst, size). The slice
-// is shared and must not be mutated.
+// is shared and must not be mutated. Safe to call from multiple
+// goroutines as long as no Add/AddN runs concurrently.
 func (p *Profile) Entries() []Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.entries != nil {
 		return p.entries
 	}

@@ -3,6 +3,7 @@ package place
 import (
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -232,6 +233,224 @@ func TestOptimizeOptionErrors(t *testing.T) {
 	short := mustTopo(t, []int{0, 0})
 	if _, err := Optimize(p, short, Options{}); !errors.Is(err, ErrRanks) {
 		t.Fatalf("short input placement: err = %v, want ErrRanks", err)
+	}
+}
+
+// localSteps counts the trajectory's local-search candidates (everything
+// after the "input"/"greedy" baselines).
+func localSteps(res Result) int {
+	n := 0
+	for _, s := range res.Trajectory {
+		if s.Move == "swap" || s.Move == "relocate" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestOptimizeBudgetCountsPricedCandidates is the budget-semantics
+// regression test: Options.Budget is "the number of local-search
+// evaluations", so proposal rounds that find nothing movable must not
+// consume it. On a one-node machine nothing is ever movable — the search
+// must terminate with zero local steps instead of spinning or burning
+// budget — and on a machine where most proposal rounds degenerate (two
+// co-located ranks: swaps never apply, only spare-slot relocations do)
+// every unit of budget must still price exactly one candidate.
+func TestOptimizeBudgetCountsPricedCandidates(t *testing.T) {
+	p := NewProfile(4)
+	p.AddN(0, 1, 4096, 4)
+	p.AddN(2, 3, 4096, 4)
+	res, err := Optimize(p, nil, Options{PerNode: 4, Nodes: 1, Seed: 1, Budget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := localSteps(res); n != 0 {
+		t.Fatalf("one-node machine priced %d local candidates, want 0", n)
+	}
+
+	p2 := NewProfile(2)
+	p2.AddN(0, 1, 4096, 4)
+	for seed := uint64(0); seed < 8; seed++ {
+		res2, err := Optimize(p2, nil, Options{PerNode: 2, Nodes: 2, Seed: seed, Budget: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := localSteps(res2); n != 8 {
+			t.Fatalf("seed %d: budget 8 priced %d local candidates, want 8 (degenerate rounds must not consume budget)", seed, n)
+		}
+	}
+}
+
+// TestGreedySeedFullMachine: a machine without a slot for every rank must
+// fail with the named ErrCapacity, not an index panic — Optimize validates
+// capacity up front, so greedySeed hitting this means accounting drifted,
+// and the error keeps the failure at its cause.
+func TestGreedySeedFullMachine(t *testing.T) {
+	p := NewProfile(4)
+	p.AddN(0, 1, 4096, 2)
+	if _, err := greedySeed(p, 1, 2); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("4 ranks on a 1×2 machine: err = %v, want ErrCapacity", err)
+	}
+	assign, err := greedySeed(p, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 4 {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+// TestOptimizeLoadInvariant is the trajectory-long bookkeeping check: the
+// local search's per-node load array must match the incumbent assignment
+// after every priced candidate — accepted or rejected, swap or relocate —
+// which is exactly the state a rejected relocation used to rebuild in
+// O(nodes + ranks) and now never dirties at all.
+func TestOptimizeLoadInvariant(t *testing.T) {
+	defer func() { optimizeHook = nil }()
+	checked := 0
+	optimizeHook = func(cur, load []int) {
+		want := make([]int, len(load))
+		for _, nd := range cur {
+			want[nd]++
+		}
+		if !reflect.DeepEqual(load, want) {
+			t.Fatalf("load %v does not match incumbent occupancy %v", load, want)
+		}
+		checked++
+	}
+	rng := xrand.New(11)
+	for _, anneal := range []bool{false, true} {
+		p := randomProfile(rng, 12)
+		// 4 nodes × 4 slots for 12 ranks: spare capacity, so relocations
+		// (and their rejections) are exercised.
+		if _, err := Optimize(p, nil, Options{PerNode: 4, Nodes: 4, Seed: 3, Budget: 96, Anneal: anneal}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if checked < 160 {
+		t.Fatalf("hook observed only %d candidates", checked)
+	}
+}
+
+// TestOptimizeAnneal locks the annealing contract: deterministic under a
+// fixed seed, never worse than the input (best-ever tracking, not the
+// final incumbent), honest Result.Eval, and — at a high start temperature
+// — actually accepting uphill moves, which is the point of the schedule.
+func TestOptimizeAnneal(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		ranks := 2 + rng.Intn(14)
+		p := randomProfile(rng, ranks)
+		start, err := simnet.NewTopology(randomAssign(rng, ranks, 1+rng.Intn(ranks)),
+			simnet.MemoryBus(), simnet.Marenostrum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Seed: seed, Budget: 48, Anneal: true}
+		res, err := Optimize(p, start, opts)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if res.Eval.Makespan > res.Input.Makespan {
+			t.Logf("seed %d: annealed %d > input %d", seed, res.Eval.Makespan, res.Input.Makespan)
+			return false
+		}
+		re, err := Evaluate(p, res.Topo)
+		if err != nil || re != res.Eval {
+			t.Logf("seed %d: re-eval %+v != reported %+v (err %v)", seed, re, res.Eval, err)
+			return false
+		}
+		// Result.Eval must be the best candidate ever priced.
+		for _, s := range res.Trajectory {
+			if s.Eval.Better(res.Eval) {
+				t.Logf("seed %d: trajectory holds %+v better than result %+v", seed, s.Eval, res.Eval)
+				return false
+			}
+		}
+		res2, err := Optimize(p, start, opts)
+		if err != nil || !reflect.DeepEqual(res.Trajectory, res2.Trajectory) {
+			t.Logf("seed %d: annealed trajectories diverge (err %v)", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// High temperature: uphill candidates must actually be accepted.
+	rng := xrand.New(5)
+	p := randomProfile(rng, 16)
+	start := mustTopo(t, randomAssign(rng, 16, 4))
+	res, err := Optimize(p, start, Options{PerNode: 8, Seed: 5, Budget: 128, Anneal: true, Temp: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uphill := 0
+	var incumbent Eval
+	haveIncumbent := false
+	for _, s := range res.Trajectory {
+		if s.Accepted {
+			if haveIncumbent && !s.Eval.Better(incumbent) && s.Eval != incumbent {
+				uphill++
+			}
+			incumbent, haveIncumbent = s.Eval, true
+		}
+	}
+	if uphill == 0 {
+		t.Fatal("high-temperature annealing accepted no uphill move")
+	}
+}
+
+// TestOptimizeConcurrentSearches is the multi-search driver under -race:
+// several goroutines search the same shared profile from different seeds
+// (the profile's read side is lock-protected, so no copies are needed) and
+// the best result must be bitwise what the same seed finds serially.
+func TestOptimizeConcurrentSearches(t *testing.T) {
+	rng := xrand.New(13)
+	const ranks, perNode, searches = 32, 8, 8
+	p := randomProfile(rng, ranks)
+	start := mustTopo(t, randomAssign(rng, ranks, ranks/perNode))
+
+	results := make([]Result, searches)
+	var wg sync.WaitGroup
+	for i := 0; i < searches; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Optimize(p, start, Options{
+				PerNode: perNode, Seed: uint64(i), Budget: 64, Anneal: i%2 == 1,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	best := 0
+	for i := 1; i < searches; i++ {
+		if results[i].Eval.Better(results[best].Eval) {
+			best = i
+		}
+	}
+	serial, err := Optimize(p, start, Options{
+		PerNode: perNode, Seed: uint64(best), Budget: 64, Anneal: best%2 == 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Eval != results[best].Eval || !reflect.DeepEqual(serial.Trajectory, results[best].Trajectory) {
+		t.Fatalf("concurrent search (seed %d) diverges from its serial replay", best)
+	}
+	if re, err := Evaluate(p, results[best].Topo); err != nil || re != results[best].Eval {
+		t.Fatalf("best concurrent result is not honest: %+v vs %+v (err %v)", re, results[best].Eval, err)
 	}
 }
 

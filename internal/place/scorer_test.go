@@ -1,0 +1,160 @@
+package place
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"appfit/internal/simnet"
+	"appfit/internal/xrand"
+)
+
+// evalOf full-replays assign through Evaluate — the reference the scorer
+// must match bitwise.
+func evalOf(t testing.TB, p *Profile, assign []int) Eval {
+	t.Helper()
+	topo, err := simnet.NewTopology(assign, simnet.MemoryBus(), simnet.Marenostrum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(p, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestScorerMatchesEvaluate is the tentpole property: across random
+// profiles (self traffic included), random placements, and random
+// swap/relocate/commit/rollback sequences, the scorer's incremental Eval
+// is bitwise equal — makespan, wire bytes, messages, bytes sent — to a
+// full Evaluate replay of the same assignment. Delta-pricing is exact
+// because per-link occupancy is a sum of integer transfer times, so
+// subtract-then-add lands on the identical value whatever the order.
+func TestScorerMatchesEvaluate(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		ranks := 2 + rng.Intn(12)
+		p := randomProfile(rng, ranks)
+		nodes := 1 + rng.Intn(ranks)
+		mirror := randomAssign(rng, ranks, nodes)
+
+		sc, err := NewScorer(p, mirror, simnet.MemoryBus(), simnet.Marenostrum())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if got, want := sc.Eval(), evalOf(t, p, mirror); got != want {
+			t.Logf("seed %d: fresh scorer %+v != replay %+v", seed, got, want)
+			return false
+		}
+		for i := 0; i < 24; i++ {
+			staged := append([]int(nil), mirror...)
+			var ev Eval
+			if rng.Intn(2) == 0 {
+				a, b := rng.Intn(ranks), rng.Intn(ranks) // a == b allowed: no-op move
+				ev = sc.Swap(a, b)
+				staged[a], staged[b] = staged[b], staged[a]
+			} else {
+				r, nd := rng.Intn(ranks), rng.Intn(nodes) // nd == current allowed
+				ev = sc.Relocate(r, nd)
+				staged[r] = nd
+			}
+			if want := evalOf(t, p, staged); ev != want {
+				t.Logf("seed %d move %d: priced %+v != replay %+v", seed, i, ev, want)
+				return false
+			}
+			if rng.Intn(2) == 0 {
+				sc.Commit()
+				mirror = staged
+			} else {
+				sc.Rollback()
+			}
+			if got, want := sc.Eval(), evalOf(t, p, mirror); got != want {
+				t.Logf("seed %d move %d: post-resolve %+v != replay %+v", seed, i, got, want)
+				return false
+			}
+		}
+		// The scorer's view of the assignment must match the mirror too.
+		for r, nd := range mirror {
+			if sc.NodeOf(r) != nd {
+				t.Logf("seed %d: scorer places rank %d on %d, mirror says %d", seed, r, sc.NodeOf(r), nd)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScorerErrors(t *testing.T) {
+	p := NewProfile(4)
+	p.Add(0, 1, 64)
+	if _, err := NewScorer(p, []int{0, 0}, simnet.MemoryBus(), simnet.Marenostrum()); !errors.Is(err, ErrRanks) {
+		t.Fatalf("short assignment: err = %v, want ErrRanks", err)
+	}
+	if _, err := NewScorer(p, []int{0, 0, 0, 9}, simnet.MemoryBus(), simnet.Marenostrum()); !errors.Is(err, simnet.ErrTopology) {
+		t.Fatalf("bad node id: err = %v, want simnet.ErrTopology", err)
+	}
+}
+
+func TestScorerMovePanics(t *testing.T) {
+	mk := func() *Scorer {
+		p := NewProfile(4)
+		p.AddN(0, 2, 4096, 3)
+		sc, err := NewScorer(p, []int{0, 0, 1, 1}, simnet.MemoryBus(), simnet.Marenostrum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		fn()
+	}
+	sc := mk()
+	sc.Swap(0, 2)
+	expectPanic("move with one pending", func() { sc.Swap(1, 3) })
+	sc.Rollback()
+	expectPanic("Commit with no pending move", func() { sc.Commit() })
+	expectPanic("Rollback with no pending move", func() { sc.Rollback() })
+	expectPanic("out-of-range rank", func() { mk().Swap(0, 7) })
+	expectPanic("out-of-range node", func() { mk().Relocate(0, 4) })
+}
+
+// TestScorerLongTrajectory drives one scorer through many committed moves
+// — far past any single hill-climb — and checks it never drifts from full
+// replay: the segment tree and the wire-slot free list must keep answering
+// the exact makespan as links empty, release slots, and refill.
+func TestScorerLongTrajectory(t *testing.T) {
+	rng := xrand.New(7)
+	const ranks, nodes = 24, 6
+	p := randomProfile(rng, ranks)
+	mirror := randomAssign(rng, ranks, nodes)
+	sc, err := NewScorer(p, mirror, simnet.MemoryBus(), simnet.Marenostrum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(2) == 0 {
+			a, b := rng.Intn(ranks), rng.Intn(ranks)
+			sc.Swap(a, b)
+			mirror[a], mirror[b] = mirror[b], mirror[a]
+		} else {
+			r, nd := rng.Intn(ranks), rng.Intn(nodes)
+			sc.Relocate(r, nd)
+			mirror[r] = nd
+		}
+		sc.Commit()
+	}
+	if got, want := sc.Eval(), evalOf(t, p, mirror); got != want {
+		t.Fatalf("after 2000 moves: scorer %+v != replay %+v", got, want)
+	}
+}
