@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement
+.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement check-sweep
 
-check: vet race race-comm build-examples check-topology check-placement bench-build
+check: vet race race-comm build-examples check-topology check-placement check-sweep bench-build
 
 # Topology gate: cmd/experiments must keep compiling against the Topology
 # API and its flat-vs-hierarchical table must keep producing (the
@@ -21,6 +21,14 @@ check-topology:
 # criterion, not just a smoke run).
 check-placement:
 	$(GO) run ./cmd/experiments placement > /dev/null
+
+# Sweep gate: run a small replication sweep twice through one engine and
+# require the second pass to be ≥90% cache hits with a bitwise-identical
+# table (cmd/replicate -check-cache exits non-zero otherwise). This locks
+# the engine's determinism end to end: key canonicalization, singleflight,
+# LRU and result cloning all sit on this path.
+check-sweep:
+	$(GO) run ./cmd/replicate -bench cholesky -scale tiny -nodes 1,2,4 -rate 1e-3 -check-cache > /dev/null
 
 # The communicator-isolation gate, named explicitly so `make check` always
 # runs it under -race even if the full race suite is trimmed: two Split

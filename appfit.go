@@ -41,6 +41,8 @@
 package appfit
 
 import (
+	"io"
+
 	"appfit/internal/buffer"
 	"appfit/internal/core"
 	"appfit/internal/dist"
@@ -49,6 +51,7 @@ import (
 	"appfit/internal/place"
 	"appfit/internal/rt"
 	"appfit/internal/simnet"
+	"appfit/internal/sweep"
 	"appfit/internal/trace"
 	"appfit/internal/vote"
 )
@@ -330,3 +333,46 @@ var (
 	ErrPlaceOptions  = place.ErrOptions
 	ErrPlaceCapacity = place.ErrCapacity
 )
+
+// The parallel sweep engine (internal/sweep, DESIGN.md §11): batches of
+// cluster simulations execute concurrently on a worker pool, identical
+// in-flight requests coalesce, and completed results memoize in a bounded
+// LRU cache behind a canonical content-addressed key — repeat traffic
+// (parameter sweeps, warm reruns of a figure) is answered without
+// re-simulating, bitwise-identical to a serial run.
+type (
+	// Sweep is the engine; one instance serves any number of goroutines.
+	Sweep = sweep.Engine
+	// SweepOptions sizes the worker pool and the results cache.
+	SweepOptions = sweep.Options
+	// SweepRequest is one simulation to run: a job on a cluster config.
+	SweepRequest = sweep.Request
+	// SweepResponse is one request's result, error and stage timings.
+	SweepResponse = sweep.Response
+	// SweepMetrics is the flat per-request timing record (queue wait,
+	// cache lookup, simulation, total) behind SweepResponse.Metrics.
+	SweepMetrics = sweep.Metrics
+	// SweepStats are the engine's cumulative cache/coalescing counters.
+	SweepStats = sweep.Stats
+	// SweepRequestError names the request behind a failed sweep run; it
+	// wraps ErrSweepRequest.
+	SweepRequestError = sweep.RequestError
+)
+
+// ErrSweepRequest is the sentinel every failed sweep request wraps.
+var ErrSweepRequest = sweep.ErrRequest
+
+// NewSweep starts a sweep engine. The zero SweepOptions means one worker
+// per CPU and the default cache size.
+func NewSweep(opts SweepOptions) *Sweep { return sweep.New(opts) }
+
+// WriteSweepMetricsCSV writes per-request stage timings as CSV, one row
+// per request; SweepBatchMetrics collects them from a batch's responses.
+func WriteSweepMetricsCSV(w io.Writer, ms []SweepMetrics) error {
+	return sweep.WriteMetricsCSV(w, ms)
+}
+
+// SweepBatchMetrics extracts the per-request metrics of a batch in order.
+func SweepBatchMetrics(resps []SweepResponse) []SweepMetrics {
+	return sweep.BatchMetrics(resps)
+}

@@ -24,8 +24,15 @@ import (
 	"appfit/internal/fit"
 	"appfit/internal/rt"
 	"appfit/internal/stats"
+	"appfit/internal/sweep"
 	"appfit/internal/vote"
 )
+
+// freshEngine gives each figure regeneration its own sweep engine so the
+// results cache never carries work across iterations — the benchmark keeps
+// measuring the full figure, not a cache lookup. BenchmarkSweep (in
+// internal/bench/scale) measures the cache itself.
+func freshEngine() *sweep.Engine { return sweep.New(sweep.Options{}) }
 
 // BenchmarkTable1Registry measures building every Table-I job DAG.
 func BenchmarkTable1Registry(b *testing.B) {
@@ -47,7 +54,7 @@ func BenchmarkTable1Registry(b *testing.B) {
 // BenchmarkFig1DataflowVsForkJoin measures the Figure 1 comparison.
 func BenchmarkFig1DataflowVsForkJoin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if experiments.Fig1() == "" {
+		if experiments.Fig1(freshEngine()) == "" {
 			b.Fatal("empty fig1")
 		}
 	}
@@ -96,7 +103,10 @@ func BenchmarkFig3AppFIT(b *testing.B) {
 func BenchmarkFig4Overhead(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.Fig4(workload.Tiny)
+		rows, _, err := experiments.Fig4(freshEngine(), workload.Tiny)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var ovs []float64
 		for _, r := range rows {
 			ovs = append(ovs, r.OverheadPct)
@@ -111,7 +121,10 @@ func BenchmarkFig4Overhead(b *testing.B) {
 func BenchmarkFig5SharedScaling(b *testing.B) {
 	var mean16 float64
 	for i := 0; i < b.N; i++ {
-		pts, _ := experiments.Fig5(workload.Tiny)
+		pts, _, err := experiments.Fig5(freshEngine(), workload.Tiny)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var sp []float64
 		for _, p := range pts {
 			if p.Cores == 16 && p.Rate == 0 {
@@ -128,7 +141,10 @@ func BenchmarkFig5SharedScaling(b *testing.B) {
 func BenchmarkFig6DistScaling(b *testing.B) {
 	var mean1024 float64
 	for i := 0; i < b.N; i++ {
-		pts, _ := experiments.Fig6(workload.Tiny)
+		pts, _, err := experiments.Fig6(freshEngine(), workload.Tiny)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var sp []float64
 		for _, p := range pts {
 			if p.Cores == 1024 && p.Rate == 0 {

@@ -19,7 +19,11 @@
 // makespan, the headline metric of the topology and placement work — is
 // deterministic for a fixed algorithm, so even a small regression there
 // is a real routing change, not noise. Units not listed (B/op,
-// allocs/op, custom counters) are recorded but never gate.
+// allocs/op, custom counters) are recorded but never gate. Units named
+// by -info (default "hit%", the sweep engine's cache hit rate) are
+// additionally printed in the comparison so their drift stays visible,
+// but they never gate either — a hit rate is a property of the request
+// mix, not a cost.
 package main
 
 import (
@@ -61,6 +65,7 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout only)")
 	compare := flag.Bool("compare", false, "compare two baseline files (old new) instead of parsing stdin")
 	gatesFlag := flag.String("gates", "ns/op=25,vus/op=1", "with -compare: gated units and their regression thresholds in percent, as unit=pct[,unit=pct...]")
+	infoFlag := flag.String("info", "hit%", "with -compare: comma-separated units printed for information but never gated")
 	flag.Parse()
 
 	if *compare {
@@ -73,7 +78,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
 		}
-		os.Exit(compareBaselines(flag.Arg(0), flag.Arg(1), gates))
+		os.Exit(compareBaselines(flag.Arg(0), flag.Arg(1), gates, parseInfo(*infoFlag)))
 	}
 
 	base := Baseline{Suite: *suite}
@@ -154,14 +159,26 @@ func parseGates(spec string) (map[string]float64, error) {
 	return gates, nil
 }
 
+// parseInfo parses the -info unit list; an empty spec disables info lines.
+func parseInfo(spec string) map[string]bool {
+	info := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			info[part] = true
+		}
+	}
+	return info
+}
+
 // compareBaselines diffs new against old and returns the exit code: 0 when
 // every gated metric of every benchmark present in both stayed within its
 // unit's threshold, 1 when any regressed beyond it (higher is worse for
 // every gated unit — they are all costs per op). Benchmarks or units that
 // appear on only one side are reported but not failed — suites grow and
 // rotate; only a measured regression of a still-recorded metric should
-// gate.
-func compareBaselines(oldPath, newPath string, gates map[string]float64) int {
+// gate. Units in info are printed alongside when both sides record them,
+// purely for the reader; they never affect the exit code.
+func compareBaselines(oldPath, newPath string, gates map[string]float64, info map[string]bool) int {
 	load := func(path string) (map[string]map[string]float64, bool) {
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -233,6 +250,18 @@ func compareBaselines(oldPath, newPath string, gates map[string]float64) int {
 					name, ov, nv, unit, pct, gates[unit])
 			} else {
 				fmt.Printf("ok       %-60s %12.1f -> %12.1f %s (%+.1f%%)\n", name, ov, nv, unit, pct)
+			}
+		}
+		infoUnits := make([]string, 0, len(info))
+		for u := range info {
+			infoUnits = append(infoUnits, u)
+		}
+		sort.Strings(infoUnits)
+		for _, unit := range infoUnits {
+			ov, okO := om[unit]
+			nv, okN := nm[unit]
+			if okO && okN {
+				fmt.Printf("info     %-60s %12.1f -> %12.1f %s (not gated)\n", name, ov, nv, unit)
 			}
 		}
 	}

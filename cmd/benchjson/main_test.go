@@ -83,10 +83,35 @@ func TestCompareGatesEveryUnit(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			newPath := writeBaseline(t, dir, tc.name+".json", tc.new)
-			if got := compareBaselines(oldPath, newPath, gates); got != tc.want {
+			if got := compareBaselines(oldPath, newPath, gates, nil); got != tc.want {
 				t.Fatalf("compare exit = %d, want %d", got, tc.want)
 			}
 		})
+	}
+}
+
+// TestInfoUnitsNeverGate: a collapsed hit% (the sweep engine's cache hit
+// rate) is printed by -info but must not fail the compare — it reflects
+// the request mix, not a cost — while a gated unit regressing in the same
+// file still does.
+func TestInfoUnitsNeverGate(t *testing.T) {
+	dir := t.TempDir()
+	gates := map[string]float64{"ns/op": 25}
+	info := parseInfo("hit%")
+	oldPath := writeBaseline(t, dir, "info_old.json", []Benchmark{
+		{Name: "Sweep/warm-8", Metrics: map[string]float64{"ns/op": 1000, "hit%": 100}},
+	})
+	collapsed := writeBaseline(t, dir, "info_collapsed.json", []Benchmark{
+		{Name: "Sweep/warm-8", Metrics: map[string]float64{"ns/op": 1000, "hit%": 0}},
+	})
+	if got := compareBaselines(oldPath, collapsed, gates, info); got != 0 {
+		t.Fatalf("hit%% collapse gated the compare: exit %d", got)
+	}
+	both := writeBaseline(t, dir, "info_both.json", []Benchmark{
+		{Name: "Sweep/warm-8", Metrics: map[string]float64{"ns/op": 5000, "hit%": 0}},
+	})
+	if got := compareBaselines(oldPath, both, gates, info); got != 1 {
+		t.Fatalf("ns/op regression must still gate: exit %d", got)
 	}
 }
 

@@ -15,7 +15,11 @@
 //	experiments placement           random vs block vs optimized vs annealed rank→node placement
 //	experiments all                 everything above
 //
-// Flags: -scale tiny|small|medium, -workers N, -repeats N.
+// Flags: -scale tiny|small|medium, -workers N, -repeats N, plus the sweep
+// engine's -parallel (simulation workers) and -cache (results-cache
+// entries). One engine serves every figure, so runs shared between figures
+// (and `all`'s repeated sub-experiments) hit the cache instead of
+// re-simulating; a failed simulation exits non-zero naming the request.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"appfit/internal/bench/workload"
 	"appfit/internal/experiments"
+	"appfit/internal/sweep"
 )
 
 func main() {
@@ -32,7 +37,11 @@ func main() {
 	workers := flag.Int("workers", 4, "worker threads for real-runtime experiments")
 	repeats := flag.Int("repeats", 3, "repetitions for averaged experiments (paper uses 10)")
 	benchName := flag.String("bench", "cholesky", "benchmark for ablation/sweep/sparecores")
+	parallel := flag.Int("parallel", 0, "sweep workers for simulator experiments (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 0, "results-cache entries (0 = default, negative disables)")
 	flag.Parse()
+
+	eng := sweep.New(sweep.Options{Workers: *parallel, CacheEntries: *cacheEntries})
 
 	var scale workload.Scale
 	switch *scaleFlag {
@@ -58,7 +67,7 @@ func main() {
 			fmt.Println(experiments.Table1(scale))
 		case "fig1":
 			fmt.Println("=== Figure 1: dataflow vs fork-join ===")
-			fmt.Println(experiments.Fig1())
+			fmt.Println(experiments.Fig1(eng))
 		case "fig2":
 			fmt.Println("=== Figure 2: replication design walk-through ===")
 			fmt.Println(experiments.Fig2())
@@ -70,15 +79,27 @@ func main() {
 			fmt.Println(s)
 		case "fig4":
 			fmt.Println("=== Figure 4: complete replication overheads ===")
-			_, s := experiments.Fig4(scale)
+			_, s, err := experiments.Fig4(eng, scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Println(s)
 		case "fig5":
 			fmt.Println("=== Figure 5: shared-memory scalability ===")
-			_, s := experiments.Fig5(scale)
+			_, s, err := experiments.Fig5(eng, scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Println(s)
 		case "fig6":
 			fmt.Println("=== Figure 6: distributed scalability ===")
-			_, s := experiments.Fig6(scale)
+			_, s, err := experiments.Fig6(eng, scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Println(s)
 		case "ablation":
 			fmt.Println("=== Ablation: selection policies ===")
@@ -106,7 +127,7 @@ func main() {
 			fmt.Println(s)
 		case "sparecores":
 			fmt.Println("=== Overhead vs spare capacity ===")
-			s, err := experiments.SpareCoreSweep(*benchName, scale)
+			s, err := experiments.SpareCoreSweep(eng, *benchName, scale)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -122,7 +143,7 @@ func main() {
 			fmt.Println(s)
 		case "placement":
 			fmt.Println("=== Placement search: random vs block vs optimized vs annealed (64 ranks, 16/node) ===")
-			_, s, err := experiments.PlacementTable(64, 16, 4096, 1)
+			_, s, err := experiments.PlacementTable(eng, 64, 16, 4096, 1)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -137,6 +158,9 @@ func main() {
 		for _, n := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation", "sweep", "sparecores", "reliability", "topology", "placement"} {
 			run(n)
 		}
+		st := eng.Stats()
+		fmt.Printf("sweep engine: %d runs, %d hits (%.0f%%), %d coalesced, %d cached entries\n",
+			st.Requests, st.Hits, st.HitRate(), st.Coalesced, st.Entries)
 		return
 	}
 	run(cmd)

@@ -127,7 +127,13 @@ type Config struct {
 	MaxAttempts int
 }
 
-func (c Config) withDefaults() Config {
+// Normalized returns the config with every defaulted field resolved to the
+// value Run will actually use (machine shape, network model, memory
+// bandwidth, injector, attempt cap). Run normalizes internally; callers
+// that derive content-addressed identity from a Config (internal/sweep's
+// results cache) normalize first so that a zero field and its explicit
+// default digest identically.
+func (c Config) Normalized() Config {
 	if c.Nodes < 1 {
 		c.Nodes = 1
 		if c.Topo != nil {
@@ -309,7 +315,7 @@ func (s *sim) spare(it execItem) bool {
 // the task done after MaxAttempts (counted in Reexecutions), matching the
 // runtime's bounded recovery.
 func Run(job Job, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Normalized()
 	if err := job.Validate(cfg.Nodes); err != nil {
 		return Result{}, err
 	}

@@ -22,6 +22,7 @@ import (
 	"appfit/internal/fit"
 	"appfit/internal/rt"
 	"appfit/internal/stats"
+	"appfit/internal/sweep"
 	"appfit/internal/trace"
 )
 
@@ -47,7 +48,7 @@ func Table1(scale workload.Scale) string {
 // Fig1 demonstrates the dataflow-vs-fork-join semantics of the paper's
 // Figure 1: tasks A1→A2 on array A and an independent long task B. Dataflow
 // lets B overlap A1; fork-join's taskwait after A1 serializes B behind it.
-func Fig1() string {
+func Fig1(eng *sweep.Engine) string {
 	mk := func(forkJoin bool) cluster.Job {
 		j := cluster.Job{Name: "fig1"}
 		j.Tasks = append(j.Tasks, cluster.Task{Label: "A1", Node: 0, Cost: 100})
@@ -60,8 +61,8 @@ func Fig1() string {
 		return j
 	}
 	cfg := cluster.Config{Nodes: 1, CoresPerNode: 2}
-	df, err1 := cluster.Run(mk(false), cfg)
-	fj, err2 := cluster.Run(mk(true), cfg)
+	df, err1 := eng.Run(mk(false), cfg)
+	fj, err2 := eng.Run(mk(true), cfg)
 	if err1 != nil || err2 != nil {
 		return fmt.Sprintf("fig1 error: %v %v", err1, err2)
 	}
@@ -222,42 +223,53 @@ type Fig4Row struct {
 	AppFITPct   float64 // overhead when only App_FIT-selected tasks replicate
 }
 
-// Fig4 measures the fault-free performance overhead of complete task
-// replication on the simulated machine (shared benchmarks: 1 node × 16
-// cores; distributed: 64 nodes × 16 cores), plus the overhead of App_FIT's
-// selective set at 10× rates — the paper reports 2.5% average for complete
-// replication.
-func Fig4(scale workload.Scale) ([]Fig4Row, string) {
+// Fig4Requests builds the fig-4 sweep batch in row order: per benchmark a
+// fault-free base run, a complete-replication run (replicas on spare
+// cores, §V-A2) and an App_FIT-selective run — three requests per
+// benchmark. It is exported because this batch is the repo's canonical
+// "fig-4-class sweep": BenchmarkSweep measures the engine against it.
+func Fig4Requests(scale workload.Scale, ws []workload.Workload) []sweep.Request {
 	cm := workload.DefaultCostModel()
-	var rows []Fig4Row
-	for _, w := range bench.All() {
+	var reqs []sweep.Request
+	for _, w := range ws {
 		nodes := 1
 		if w.Distributed() {
 			nodes = 64
 		}
 		job := w.BuildJob(scale, nodes, cm)
 		cfg := cluster.Config{Nodes: nodes, CoresPerNode: 16}
-		baseRes, err := cluster.Run(job, cfg)
-		if err != nil {
-			continue
-		}
-		// Replicas run on spare cores, as in the paper's setup (§V-A2:
-		// resource cost above 100%, wall-clock overhead is what Figure 4
-		// reports).
 		cfgAll := cfg
 		cfgAll.ReplicaCores = 16
 		cfgAll.Replicated = cluster.All(len(job.Tasks))
-		replRes, err := cluster.Run(job, cfgAll)
-		if err != nil {
-			continue
-		}
 		cfgSel := cfg
 		cfgSel.ReplicaCores = 16
 		cfgSel.Replicated = SelectAppFIT(job, 10)
-		selRes, err := cluster.Run(job, cfgSel)
-		if err != nil {
-			continue
-		}
+		reqs = append(reqs,
+			sweep.Request{Job: job, Config: cfg},
+			sweep.Request{Job: job, Config: cfgAll},
+			sweep.Request{Job: job, Config: cfgSel})
+	}
+	return reqs
+}
+
+// Fig4 measures the fault-free performance overhead of complete task
+// replication on the simulated machine (shared benchmarks: 1 node × 16
+// cores; distributed: 64 nodes × 16 cores), plus the overhead of App_FIT's
+// selective set at 10× rates — the paper reports 2.5% average for complete
+// replication. The three runs per benchmark execute as one sweep batch; a
+// failed run fails the whole figure with the request named, never a
+// silently shortened table.
+func Fig4(eng *sweep.Engine, scale workload.Scale) ([]Fig4Row, string, error) {
+	ws := bench.All()
+	resps, err := eng.RunBatch(Fig4Requests(scale, ws))
+	if err != nil {
+		return nil, "", fmt.Errorf("experiments: fig4: %w", err)
+	}
+	var rows []Fig4Row
+	for i, w := range ws {
+		baseRes := resps[3*i].Result
+		replRes := resps[3*i+1].Result
+		selRes := resps[3*i+2].Result
 		rows = append(rows, Fig4Row{
 			Bench:       w.Name(),
 			BaseMs:      baseRes.Makespan.Seconds() * 1e3,
@@ -273,7 +285,7 @@ func Fig4(scale workload.Scale) ([]Fig4Row, string) {
 		ovs = append(ovs, r.OverheadPct)
 	}
 	t.AddRow("AVERAGE", "", "", stats.Mean(ovs), "")
-	return rows, t.String() + "\npaper: 2.5% average overhead for complete replication\n"
+	return rows, t.String() + "\npaper: 2.5% average overhead for complete replication\n", nil
 }
 
 // SelectAppFIT runs the App_FIT decision sequence over a simulator job in
@@ -308,19 +320,19 @@ type ScalingPoint struct {
 
 // Fig5 reproduces the shared-memory scalability experiment: speedup over 1
 // core at 1..16 cores under per-task fault rates {0, low, high} with
-// complete task replication (§V-A2, Figure 5).
-func Fig5(scale workload.Scale) ([]ScalingPoint, string) {
+// complete task replication (§V-A2, Figure 5). All (benchmark, rate, cores)
+// cells execute as one sweep batch; any failed cell fails the figure with
+// the request named.
+func Fig5(eng *sweep.Engine, scale workload.Scale) ([]ScalingPoint, string, error) {
 	cm := workload.DefaultCostModel()
 	cores := []int{1, 2, 4, 8, 16}
 	rates := []float64{0, 1e-3, 1e-2}
-	var pts []ScalingPoint
-	t := stats.NewTable("benchmark", "fault rate", "1", "2", "4", "8", "16")
-	for _, w := range bench.SharedMemory() {
+	ws := bench.SharedMemory()
+	var reqs []sweep.Request
+	for _, w := range ws {
 		job := w.BuildJob(scale, 1, cm)
 		for _, rate := range rates {
-			var base cluster.Result
-			row := []interface{}{w.Name(), fmt.Sprintf("%g", rate)}
-			for ci, c := range cores {
+			for _, c := range cores {
 				cfg := cluster.Config{
 					Nodes: 1, CoresPerNode: c, ReplicaCores: c,
 					Replicated: cluster.All(len(job.Tasks)),
@@ -328,10 +340,24 @@ func Fig5(scale workload.Scale) ([]ScalingPoint, string) {
 				if rate > 0 {
 					cfg.Injector = fault.NewFixedRate(42, rate/2, rate/2)
 				}
-				res, err := cluster.Run(job, cfg)
-				if err != nil {
-					continue
-				}
+				reqs = append(reqs, sweep.Request{Job: job, Config: cfg})
+			}
+		}
+	}
+	resps, err := eng.RunBatch(reqs)
+	if err != nil {
+		return nil, "", fmt.Errorf("experiments: fig5: %w", err)
+	}
+	var pts []ScalingPoint
+	t := stats.NewTable("benchmark", "fault rate", "1", "2", "4", "8", "16")
+	i := 0
+	for _, w := range ws {
+		for _, rate := range rates {
+			var base cluster.Result
+			row := []interface{}{w.Name(), fmt.Sprintf("%g", rate)}
+			for ci, c := range cores {
+				res := resps[i].Result
+				i++
 				if ci == 0 {
 					base = res
 				}
@@ -342,23 +368,23 @@ func Fig5(scale workload.Scale) ([]ScalingPoint, string) {
 			t.AddRow(row...)
 		}
 	}
-	return pts, t.String() + "\npaper: near-linear scaling for all but stream (each rate has its own 1-core baseline)\n"
+	return pts, t.String() + "\npaper: near-linear scaling for all but stream (each rate has its own 1-core baseline)\n", nil
 }
 
 // Fig6 reproduces the distributed scalability experiment: speedup over 64
 // cores (4 nodes × 16) at up to 1024 cores (64 nodes × 16) under per-task
 // fault rates with complete replication (§V-A2, Figure 6).
-func Fig6(scale workload.Scale) ([]ScalingPoint, string) {
+// Like Fig5, the whole grid executes as one sweep batch and a failed cell
+// fails the figure with the request named.
+func Fig6(eng *sweep.Engine, scale workload.Scale) ([]ScalingPoint, string, error) {
 	cm := workload.DefaultCostModel()
 	nodeCounts := []int{4, 8, 16, 32, 64}
 	rates := []float64{0, 1e-3, 1e-2}
-	var pts []ScalingPoint
-	t := stats.NewTable("benchmark", "fault rate", "64", "128", "256", "512", "1024")
-	for _, w := range bench.DistributedSet() {
+	ws := bench.DistributedSet()
+	var reqs []sweep.Request
+	for _, w := range ws {
 		for _, rate := range rates {
-			var base cluster.Result
-			row := []interface{}{w.Name(), fmt.Sprintf("%g", rate)}
-			for ni, nodes := range nodeCounts {
+			for _, nodes := range nodeCounts {
 				job := w.BuildJob(scale, nodes, cm)
 				cfg := cluster.Config{
 					Nodes: nodes, CoresPerNode: 16, ReplicaCores: 16,
@@ -367,10 +393,24 @@ func Fig6(scale workload.Scale) ([]ScalingPoint, string) {
 				if rate > 0 {
 					cfg.Injector = fault.NewFixedRate(42, rate/2, rate/2)
 				}
-				res, err := cluster.Run(job, cfg)
-				if err != nil {
-					continue
-				}
+				reqs = append(reqs, sweep.Request{Job: job, Config: cfg})
+			}
+		}
+	}
+	resps, err := eng.RunBatch(reqs)
+	if err != nil {
+		return nil, "", fmt.Errorf("experiments: fig6: %w", err)
+	}
+	var pts []ScalingPoint
+	t := stats.NewTable("benchmark", "fault rate", "64", "128", "256", "512", "1024")
+	i := 0
+	for _, w := range ws {
+		for _, rate := range rates {
+			var base cluster.Result
+			row := []interface{}{w.Name(), fmt.Sprintf("%g", rate)}
+			for ni, nodes := range nodeCounts {
+				res := resps[i].Result
+				i++
 				if ni == 0 {
 					base = res
 				}
@@ -381,7 +421,7 @@ func Fig6(scale workload.Scale) ([]ScalingPoint, string) {
 			t.AddRow(row...)
 		}
 	}
-	return pts, t.String() + "\npaper: task replication is highly scalable for distributed applications\n"
+	return pts, t.String() + "\npaper: task replication is highly scalable for distributed applications\n", nil
 }
 
 // AblationRow compares selection policies on one benchmark.
@@ -487,24 +527,28 @@ func Ablation(benchName string, scale workload.Scale) ([]AblationRow, string, er
 // SpareCoreSweep is an extra ablation: complete-replication overhead as the
 // machine's spare capacity shrinks, showing why replicas-on-spare-cores is
 // cheap at 16 cores (Figure 4's premise) and expensive when saturated.
-func SpareCoreSweep(benchName string, scale workload.Scale) (string, error) {
+func SpareCoreSweep(eng *sweep.Engine, benchName string, scale workload.Scale) (string, error) {
 	w, err := bench.ByName(benchName)
 	if err != nil {
 		return "", err
 	}
 	job := w.BuildJob(scale, 1, workload.DefaultCostModel())
+	cores := []int{2, 4, 8, 16, 32}
+	var reqs []sweep.Request
+	for _, c := range cores {
+		reqs = append(reqs,
+			sweep.Request{Job: job, Config: cluster.Config{Nodes: 1, CoresPerNode: c}},
+			sweep.Request{Job: job, Config: cluster.Config{
+				Nodes: 1, CoresPerNode: c, Replicated: cluster.All(len(job.Tasks)),
+			}})
+	}
+	resps, err := eng.RunBatch(reqs)
+	if err != nil {
+		return "", fmt.Errorf("experiments: spare-core sweep: %w", err)
+	}
 	t := stats.NewTable("cores", "base ms", "replicated ms", "overhead %")
-	for _, c := range []int{2, 4, 8, 16, 32} {
-		base, err := cluster.Run(job, cluster.Config{Nodes: 1, CoresPerNode: c})
-		if err != nil {
-			return "", err
-		}
-		repl, err := cluster.Run(job, cluster.Config{
-			Nodes: 1, CoresPerNode: c, Replicated: cluster.All(len(job.Tasks)),
-		})
-		if err != nil {
-			return "", err
-		}
+	for i, c := range cores {
+		base, repl := resps[2*i].Result, resps[2*i+1].Result
 		t.AddRow(c, base.Makespan.Seconds()*1e3, repl.Makespan.Seconds()*1e3,
 			repl.OverheadPct(base))
 	}

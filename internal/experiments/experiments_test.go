@@ -7,7 +7,12 @@ import (
 	"appfit/internal/bench"
 	"appfit/internal/bench/workload"
 	"appfit/internal/fit"
+	"appfit/internal/sweep"
 )
+
+// testEngine builds a fresh sweep engine per test so cache stats never leak
+// across tests.
+func testEngine() *sweep.Engine { return sweep.New(sweep.Options{}) }
 
 func TestTable1ListsAllBenchmarks(t *testing.T) {
 	out := Table1(workload.Tiny)
@@ -22,7 +27,7 @@ func TestTable1ListsAllBenchmarks(t *testing.T) {
 }
 
 func TestFig1DataflowWins(t *testing.T) {
-	out := Fig1()
+	out := Fig1(testEngine())
 	if !strings.Contains(out, "dataflow") || !strings.Contains(out, "fork-join") {
 		t.Fatalf("fig1 output:\n%s", out)
 	}
@@ -74,7 +79,10 @@ func TestFig3ContractAndOrdering(t *testing.T) {
 }
 
 func TestFig4OverheadsBounded(t *testing.T) {
-	rows, out := Fig4(workload.Tiny)
+	rows, out, err := Fig4(testEngine(), workload.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 9 {
 		t.Fatalf("expected 9 rows, got %d", len(rows))
 	}
@@ -97,7 +105,10 @@ func TestFig4OverheadsBounded(t *testing.T) {
 }
 
 func TestFig5SpeedupsMonotone(t *testing.T) {
-	pts, _ := Fig5(workload.Tiny)
+	pts, _, err := Fig5(testEngine(), workload.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) == 0 {
 		t.Fatal("no points")
 	}
@@ -119,7 +130,10 @@ func TestFig5SpeedupsMonotone(t *testing.T) {
 }
 
 func TestFig6SpeedupsReasonable(t *testing.T) {
-	pts, _ := Fig6(workload.Tiny)
+	pts, _, err := Fig6(testEngine(), workload.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range pts {
 		if p.Speedup <= 0 {
 			t.Fatalf("%s: non-positive speedup", p.Bench)
@@ -226,14 +240,14 @@ func TestThresholdSweepMonotone(t *testing.T) {
 }
 
 func TestSpareCoreSweep(t *testing.T) {
-	out, err := SpareCoreSweep("stream", workload.Tiny)
+	out, err := SpareCoreSweep(testEngine(), "stream", workload.Tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "overhead") {
 		t.Fatalf("sweep output:\n%s", out)
 	}
-	if _, err := SpareCoreSweep("nope", workload.Tiny); err == nil {
+	if _, err := SpareCoreSweep(testEngine(), "nope", workload.Tiny); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }

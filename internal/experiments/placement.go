@@ -9,6 +9,7 @@ import (
 	"appfit/internal/place"
 	"appfit/internal/simnet"
 	"appfit/internal/stats"
+	"appfit/internal/sweep"
 	"appfit/internal/xrand"
 )
 
@@ -41,7 +42,7 @@ type PlacementRow struct {
 // placement's makespan for the halo profile and strictly beat the random
 // start — PlacementTable returns an error otherwise, which is what makes
 // `make check-placement` a gate rather than a printout.
-func PlacementTable(ranks, perNode, vecLen int, seed uint64) ([]PlacementRow, string, error) {
+func PlacementTable(eng *sweep.Engine, ranks, perNode, vecLen int, seed uint64) ([]PlacementRow, string, error) {
 	intra, inter := simnet.MemoryBus(), simnet.Marenostrum()
 	type profiled struct {
 		name string
@@ -86,11 +87,11 @@ func PlacementTable(ranks, perNode, vecLen int, seed uint64) ([]PlacementRow, st
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := place.Optimize(wl.prof, randomTopo, place.Options{PerNode: perNode, Seed: seed})
+		res, err := eng.Optimize(wl.prof, randomTopo, place.Options{PerNode: perNode, Seed: seed})
 		if err != nil {
 			return nil, "", err
 		}
-		annealed, err := place.Optimize(wl.prof, randomTopo, place.Options{PerNode: perNode, Seed: seed, Anneal: true})
+		annealed, err := eng.Optimize(wl.prof, randomTopo, place.Options{PerNode: perNode, Seed: seed, Anneal: true})
 		if err != nil {
 			return nil, "", err
 		}

@@ -8,7 +8,7 @@ import (
 func TestPlacementTable(t *testing.T) {
 	// Test-sized machine: 16 ranks × 4 per node (the acceptance run at
 	// 64 × 16 is the check-placement gate).
-	rows, s, err := PlacementTable(16, 4, 1024, 1)
+	rows, s, err := PlacementTable(testEngine(), 16, 4, 1024, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// Keyer is implemented by injectors whose outcome sequence is a pure
+// function of exposable state. AppendKey appends a canonical encoding of
+// everything that determines the injector's Draw/BitIndex outcomes — and
+// nothing else (counters and other observability state are excluded) — so
+// two injectors with equal keys produce identical fault sequences for every
+// (taskID, attempt). The sweep engine's results cache refuses to memoize a
+// run whose injector does not implement Keyer: an unknown injector might
+// hide mutable state, and a cache that guesses is a cache that lies.
+//
+// Implementations must be canonical: the encoding may never depend on
+// construction order or map iteration order (Script sorts its programmed
+// outcomes), so structurally-equal injectors digest identically.
+type Keyer interface {
+	AppendKey(b []byte) []byte
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// AppendKey implements Keyer. NoFaults has no state: every draw is None.
+func (n *NoFaults) AppendKey(b []byte) []byte {
+	return append(b, 'F', 'n')
+}
+
+// AppendKey implements Keyer: seed and boost fully determine the stream.
+func (s *Seeded) AppendKey(b []byte) []byte {
+	b = append(b, 'F', 's')
+	b = appendU64(b, s.seed)
+	boost := s.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	return appendU64(b, floatBits(boost))
+}
+
+// AppendKey implements Keyer: seed and the two probabilities fully
+// determine the stream.
+func (f *FixedRate) AppendKey(b []byte) []byte {
+	b = append(b, 'F', 'f')
+	b = appendU64(b, f.seed)
+	b = appendU64(b, floatBits(f.pDUE))
+	return appendU64(b, floatBits(f.pSDC))
+}
+
+// AppendKey implements Keyer. The programmed outcome and bit maps are
+// encoded in sorted (taskID, attempt) order so the key is independent of
+// the order Set/SetBit calls built them; entries programmed to the zero
+// value (None, bit 0) are canonicalized away because Draw/BitIndex return
+// exactly that for absent entries.
+func (s *Script) AppendKey(b []byte) []byte {
+	b = append(b, 'F', 'c')
+	type kv struct {
+		k [2]uint64
+		v uint64
+	}
+	canon := func(m map[[2]uint64]uint64) []kv {
+		out := make([]kv, 0, len(m))
+		for k, v := range m {
+			if v == 0 {
+				continue // absent and zero are indistinguishable to Draw/BitIndex
+			}
+			out = append(out, kv{k, v})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].k[0] != out[j].k[0] {
+				return out[i].k[0] < out[j].k[0]
+			}
+			return out[i].k[1] < out[j].k[1]
+		})
+		return out
+	}
+	outs := make(map[[2]uint64]uint64, len(s.outcomes))
+	for k, o := range s.outcomes {
+		outs[k] = uint64(o)
+	}
+	bits := make(map[[2]uint64]uint64, len(s.bits))
+	for k, bit := range s.bits {
+		bits[k] = uint64(bit)
+	}
+	for _, section := range [][]kv{canon(outs), canon(bits)} {
+		b = appendU64(b, uint64(len(section)))
+		for _, e := range section {
+			b = appendU64(b, e.k[0])
+			b = appendU64(b, e.k[1])
+			b = appendU64(b, e.v)
+		}
+	}
+	return b
+}

@@ -1,0 +1,386 @@
+// Package sweep is the parallel sweep engine for the deterministic
+// simulators: it executes batches of cluster.Run (and place.Optimize)
+// requests concurrently across a worker pool, coalesces identical in-flight
+// requests singleflight-style, and memoizes completed results in a bounded
+// LRU cache behind a canonical content-addressed key (key.go).
+//
+// Every figure and table of the reproduction is a sweep of independent,
+// deterministic simulation runs — cmd/replicate walks node counts,
+// internal/experiments walks benchmarks × fault rates × replication sets —
+// and the simulations are hermetic (cluster.Run builds all mutable state
+// per run; injector draws are pure functions of (seed, task, attempt) —
+// audited in DESIGN.md §11 and locked by TestRunBatchMatchesSerial under
+// -race), so fanning them out and replaying repeats from the cache changes
+// wall-clock only, never a result: batch outputs are bitwise identical to
+// a serial loop of cluster.Run in request order.
+//
+// The engine is the substrate the future multi-tenant appfitd batcher sits
+// on (ROADMAP item 2): repeat traffic — the same table regenerated, the
+// same baseline shared between figures — is answered from the cache for
+// the cost of a digest.
+//
+// Every request carries a flat per-stage Metrics struct (queue wait, cache
+// lookup, simulation, total — one field per pipeline stage, CSV-exportable
+// via WriteMetricsCSV) and the engine keeps aggregate cache Stats.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"appfit/internal/cluster"
+	"appfit/internal/place"
+	"appfit/internal/simnet"
+	"appfit/internal/simtime"
+)
+
+// ErrRequest is the sentinel wrapped by every RequestError, so drivers can
+// errors.Is a batch failure without knowing which request died.
+var ErrRequest = errors.New("sweep: request failed")
+
+// RequestError names one failed request of a batch: its index, the
+// parameters that identify it to a human (benchmark, machine shape, fault
+// injection), and the cause. Drivers print it and exit non-zero instead of
+// rendering a zero-row table.
+type RequestError struct {
+	// Index is the request's position in the batch.
+	Index int
+	// Job and machine identity, snapshotted from the request.
+	Name         string
+	Nodes, Cores int
+	// Err is the underlying simulation error.
+	Err error
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("sweep: request %d (%s, %d nodes × %d cores): %v",
+		e.Index, e.Name, e.Nodes, e.Cores, e.Err)
+}
+
+// Unwrap makes errors.Is/As see the cause.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// Is reports true for the package sentinel.
+func (e *RequestError) Is(target error) bool { return target == ErrRequest }
+
+// Request is one cluster simulation of a sweep batch.
+type Request struct {
+	Job    cluster.Job
+	Config cluster.Config
+}
+
+// Response is one request's outcome: the simulation result (bitwise what a
+// serial cluster.Run of the same request returns), the error if it failed,
+// and the request's flat pipeline timing.
+type Response struct {
+	Result  cluster.Result
+	Err     error
+	Metrics Metrics
+}
+
+// Metrics is the flat per-request timing struct: one field per pipeline
+// stage, wall-clock, CSV-friendly. Stages that a request skips (the sim, on
+// a cache hit) are zero.
+type Metrics struct {
+	// Index is the request's position in its batch (0 for single Run calls).
+	Index int
+	// Name is the request's job name.
+	Name string
+	// Key is the hex prefix of the content-addressed cache key ("" when
+	// the request was uncacheable).
+	Key string
+	// QueueWait is submit → worker pickup.
+	QueueWait time.Duration
+	// CacheLookup is key derivation + cache/in-flight probe.
+	CacheLookup time.Duration
+	// Sim is the simulation itself (zero on hits; on coalesced requests it
+	// is the wait for the in-flight twin to finish).
+	Sim time.Duration
+	// Total is submit → response.
+	Total time.Duration
+	// CacheHit marks a memoized result; Coalesced marks a result shared
+	// from an identical in-flight request.
+	CacheHit  bool
+	Coalesced bool
+}
+
+// Stats are the engine's cumulative counters.
+type Stats struct {
+	// Requests counts everything submitted (Run, RunBatch and Optimize).
+	Requests uint64
+	// Hits / Misses split the cacheable requests that probed the cache.
+	Hits, Misses uint64
+	// Coalesced counts requests answered by an identical in-flight twin.
+	Coalesced uint64
+	// Uncacheable counts requests with no derivable key (unknown injector);
+	// they execute every time.
+	Uncacheable uint64
+	// Evictions counts cache entries dropped to stay within the bound.
+	Evictions uint64
+	// Entries is the current cache population.
+	Entries int
+}
+
+// HitRate returns hits / (hits + misses) in percent, 0 when nothing probed.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Options shapes an Engine. The zero value is ready to use.
+type Options struct {
+	// Workers is the worker-pool width for RunBatch; 0 means
+	// runtime.GOMAXPROCS(0), <0 means 1 (a serial engine — same results,
+	// one goroutine).
+	Workers int
+	// CacheEntries bounds the LRU results cache; 0 means 4096, <0 disables
+	// caching entirely (every request simulates; coalescing still applies).
+	CacheEntries int
+}
+
+func (o Options) normalized() Options {
+	switch {
+	case o.Workers == 0:
+		o.Workers = runtime.GOMAXPROCS(0)
+	case o.Workers < 0:
+		o.Workers = 1
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	return o
+}
+
+// Engine executes sweep requests. It is safe for concurrent use; one
+// engine can back every driver of a process so they share the cache.
+type Engine struct {
+	opts Options
+
+	mu       sync.Mutex
+	cache    *lru // nil when disabled
+	inflight map[[32]byte]*call
+
+	requests, hits, misses, coalesced, uncacheable, evictions atomic.Uint64
+}
+
+// call is one in-flight execution other requests with the same key wait on.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns an Engine with opts applied.
+func New(opts Options) *Engine {
+	opts = opts.normalized()
+	e := &Engine{opts: opts, inflight: make(map[[32]byte]*call)}
+	if opts.CacheEntries > 0 {
+		e.cache = newLRU(opts.CacheEntries)
+	}
+	return e
+}
+
+// Workers returns the engine's resolved worker-pool width.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Requests:    e.requests.Load(),
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Coalesced:   e.coalesced.Load(),
+		Uncacheable: e.uncacheable.Load(),
+		Evictions:   e.evictions.Load(),
+	}
+	e.mu.Lock()
+	if e.cache != nil {
+		s.Entries = e.cache.len()
+	}
+	e.mu.Unlock()
+	return s
+}
+
+// do executes fn once per key across all concurrent callers, memoizing the
+// result: cache hit → stored value; identical request in flight → wait and
+// share; otherwise run fn and store. The returned flags report which path
+// answered. fn's result must be immutable or cloned by the caller.
+func (e *Engine) do(key [32]byte, fn func() (any, error)) (val any, err error, hit, coalesced bool) {
+	e.mu.Lock()
+	if e.cache != nil {
+		if v, ok := e.cache.get(key); ok {
+			e.mu.Unlock()
+			e.hits.Add(1)
+			return v, nil, true, false
+		}
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		e.coalesced.Add(1)
+		return c.val, c.err, false, true
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+	e.misses.Add(1)
+
+	c.val, c.err = fn()
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if c.err == nil && e.cache != nil {
+		e.evictions.Add(uint64(e.cache.put(key, c.val)))
+	}
+	e.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false, false
+}
+
+// preKey is a request key derived at batch submission (with the batch's
+// task-digest memo) and handed to the worker that runs the request.
+type preKey struct {
+	key [32]byte
+	ok  bool
+}
+
+// runOne executes one request through the cache/singleflight path, filling
+// the per-stage metrics. enqueued is when the request entered the engine;
+// pre carries a batch-precomputed key (nil for single Run calls).
+func (e *Engine) runOne(idx int, req Request, enqueued time.Time, pre *preKey) Response {
+	e.requests.Add(1)
+	started := time.Now()
+	m := Metrics{Index: idx, Name: req.Job.Name, QueueWait: started.Sub(enqueued)}
+
+	var key [32]byte
+	var cacheable bool
+	if pre != nil {
+		key, cacheable = pre.key, pre.ok
+	} else {
+		key, cacheable = RunKey(req.Job, req.Config)
+	}
+	m.CacheLookup = time.Since(started)
+	if cacheable {
+		m.Key = fmt.Sprintf("%x", key[:8])
+	}
+
+	var res cluster.Result
+	var err error
+	simStart := time.Now()
+	if !cacheable {
+		e.uncacheable.Add(1)
+		res, err = cluster.Run(req.Job, req.Config)
+	} else {
+		var v any
+		var hit, coal bool
+		v, err, hit, coal = e.do(key, func() (any, error) {
+			r, err := cluster.Run(req.Job, req.Config)
+			return r, err
+		})
+		m.CacheHit, m.Coalesced = hit, coal
+		if err == nil {
+			res = cloneResult(v.(cluster.Result))
+		}
+	}
+	if !m.CacheHit {
+		m.Sim = time.Since(simStart)
+	}
+	m.Total = time.Since(enqueued)
+	if err != nil {
+		cfg := req.Config.Normalized()
+		err = &RequestError{Index: idx, Name: req.Job.Name,
+			Nodes: cfg.Nodes, Cores: cfg.CoresPerNode, Err: err}
+	}
+	return Response{Result: res, Err: err, Metrics: m}
+}
+
+// cloneResult deep-copies the result's mutable slice so cached entries can
+// never be corrupted through a caller's hands. Placement topologies are
+// immutable by construction (constructor-validated, getter-only) and are
+// shared.
+func cloneResult(r cluster.Result) cluster.Result {
+	if r.NodeBusy != nil {
+		r.NodeBusy = append([]simtime.Time(nil), r.NodeBusy...)
+	}
+	return r
+}
+
+// Run executes one request (through the cache and coalescing) and blocks
+// for its result.
+func (e *Engine) Run(job cluster.Job, cfg cluster.Config) (cluster.Result, error) {
+	resp := e.runOne(0, Request{Job: job, Config: cfg}, time.Now(), nil)
+	return resp.Result, resp.Err
+}
+
+// RunBatch executes a batch across the worker pool and returns one
+// Response per request, in request order, each bitwise identical to what a
+// serial cluster.Run of that request returns. The error is the first
+// failure in request order (a *RequestError naming the request), nil when
+// every request succeeded; responses for failed requests carry their own
+// errors too, so drivers can report all failures or just die on the first.
+func (e *Engine) RunBatch(reqs []Request) ([]Response, error) {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	enqueued := time.Now()
+	// Derive every key up front with a shared task-digest memo: requests
+	// that carry the same job value (by slice identity) hash its task
+	// section once for the whole batch.
+	keys := make([]preKey, len(reqs))
+	memo := make(map[jobIdent][32]byte, len(reqs))
+	for i := range reqs {
+		keys[i].key, keys[i].ok = runKeyMemo(reqs[i].Job, reqs[i].Config, memo)
+	}
+	workers := e.opts.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = e.runOne(i, reqs[i], enqueued, &keys[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i := range out {
+		if out[i].Err != nil {
+			return out, out[i].Err
+		}
+	}
+	return out, nil
+}
+
+// Optimize executes one placement search through the cache and coalescing:
+// place.Optimize is deterministic per Options.Seed, so (profile, start,
+// opts) fully determines the result. The profile must not be recorded into
+// concurrently (place.Profile's read-side contract). The returned result
+// shares the cached topology and trajectory; both are immutable by
+// contract.
+func (e *Engine) Optimize(p *place.Profile, start *simnet.Topology, opts place.Options) (place.Result, error) {
+	e.requests.Add(1)
+	key := OptimizeKey(p, start, opts)
+	v, err, _, _ := e.do(key, func() (any, error) {
+		return place.Optimize(p, start, opts)
+	})
+	if err != nil {
+		return place.Result{}, err
+	}
+	return v.(place.Result), nil
+}

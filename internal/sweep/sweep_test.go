@@ -1,0 +1,303 @@
+package sweep
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"appfit/internal/bench"
+	"appfit/internal/bench/workload"
+	"appfit/internal/cluster"
+	"appfit/internal/fault"
+	"appfit/internal/place"
+)
+
+func placeOptions() place.Options { return place.Options{PerNode: 4, Seed: 1, Budget: 64} }
+
+// testJob builds a small real workload DAG for nodes nodes.
+func testJob(t testing.TB, name string, nodes int) cluster.Job {
+	t.Helper()
+	w, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.BuildJob(workload.Tiny, nodes, workload.DefaultCostModel())
+}
+
+// fig4Requests is a small fig-4-class batch: per benchmark a fault-free
+// base run, a complete-replication run and a faulty replicated run.
+func fig4Requests(t testing.TB, names []string) []Request {
+	t.Helper()
+	var reqs []Request
+	for _, name := range names {
+		job := testJob(t, name, 1)
+		base := cluster.Config{Nodes: 1, CoresPerNode: 16}
+		repl := base
+		repl.ReplicaCores = 16
+		repl.Replicated = cluster.All(len(job.Tasks))
+		faulty := repl
+		faulty.Injector = fault.NewFixedRate(42, 5e-3, 5e-3)
+		reqs = append(reqs, Request{job, base}, Request{job, repl}, Request{job, faulty})
+	}
+	return reqs
+}
+
+// TestRunBatchMatchesSerial is the engine's core contract: a parallel,
+// cached, coalesced batch returns bitwise the results of a serial
+// cluster.Run loop, in request order.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	reqs := fig4Requests(t, []string{"stream", "cholesky", "fft"})
+	// Duplicate the whole batch to exercise coalescing/caching inside one
+	// RunBatch call.
+	reqs = append(reqs, reqs...)
+
+	want := make([]cluster.Result, len(reqs))
+	for i, r := range reqs {
+		res, err := cluster.Run(r.Job, r.Config)
+		if err != nil {
+			t.Fatalf("serial reference %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	eng := New(Options{Workers: 8})
+	resps, err := eng.RunBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+		if !reflect.DeepEqual(resp.Result, want[i]) {
+			t.Fatalf("request %d: batch result differs from serial reference\nbatch:  %+v\nserial: %+v",
+				i, resp.Result, want[i])
+		}
+	}
+	st := eng.Stats()
+	if st.Requests != uint64(len(reqs)) {
+		t.Fatalf("requests %d, want %d", st.Requests, len(reqs))
+	}
+	// The duplicated half must have been answered without re-simulating:
+	// 9 unique configs → 9 misses, everything else hits or coalesced.
+	if st.Misses != 9 {
+		t.Fatalf("misses %d, want 9 (unique requests)", st.Misses)
+	}
+	if st.Hits+st.Coalesced != uint64(len(reqs))-9 {
+		t.Fatalf("hits %d + coalesced %d, want %d", st.Hits, st.Coalesced, len(reqs)-9)
+	}
+}
+
+// TestWarmCacheHits locks the "repeat traffic is free" contract: a second
+// identical batch is answered ≥90% (here: entirely) from the cache,
+// bitwise-equal to the first.
+func TestWarmCacheHits(t *testing.T) {
+	reqs := fig4Requests(t, []string{"stream", "perlin"})
+	eng := New(Options{Workers: 4})
+	first, err := eng.RunBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Stats()
+	second, err := eng.RunBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Stats()
+	if hits := after.Hits - before.Hits; hits != uint64(len(reqs)) {
+		t.Fatalf("second pass: %d hits of %d requests", hits, len(reqs))
+	}
+	for i := range reqs {
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Fatalf("request %d: warm result differs from cold", i)
+		}
+		if !second[i].Metrics.CacheHit {
+			t.Fatalf("request %d: second pass not marked a hit", i)
+		}
+	}
+}
+
+// TestCacheHitCannotBeCorrupted: mutating a returned result's NodeBusy
+// slice must not poison the cache for the next caller.
+func TestCacheHitCannotBeCorrupted(t *testing.T) {
+	job := testJob(t, "stream", 1)
+	cfg := cluster.Config{Nodes: 1, CoresPerNode: 4}
+	eng := New(Options{})
+	first, err := eng.Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.NodeBusy[0] = -1
+	second, err := eng.Run(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.NodeBusy[0] == -1 {
+		t.Fatal("cache entry corrupted through a caller's result")
+	}
+	if eng.Stats().Hits != 1 {
+		t.Fatalf("hits %d, want 1", eng.Stats().Hits)
+	}
+}
+
+// TestUncacheableInjectorRunsEveryTime: an injector that does not expose
+// its state (no fault.Keyer) must never be memoized.
+type opaqueInjector struct{}
+
+func (opaqueInjector) Draw(uint64, int, float64, float64) fault.Outcome { return fault.None }
+func (opaqueInjector) BitIndex(uint64, int, int64) int64                { return 0 }
+
+func TestUncacheableInjectorRunsEveryTime(t *testing.T) {
+	job := testJob(t, "stream", 1)
+	cfg := cluster.Config{Nodes: 1, CoresPerNode: 4, Injector: &opaqueInjector{}}
+	if _, ok := RunKey(job, cfg); ok {
+		t.Fatal("opaque injector must be uncacheable")
+	}
+	eng := New(Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Run(job, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Uncacheable != 3 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats %+v: want 3 uncacheable, 0 hits/misses", st)
+	}
+}
+
+// TestBatchErrorNamesRequest: a failing request surfaces as a non-nil
+// batch error carrying the request's parameters, wrapped around ErrRequest.
+func TestBatchErrorNamesRequest(t *testing.T) {
+	good := testJob(t, "stream", 1)
+	bad := cluster.Job{Name: "broken", Tasks: []cluster.Task{{Node: 7, Cost: 1}}}
+	reqs := []Request{
+		{good, cluster.Config{Nodes: 1, CoresPerNode: 4}},
+		{bad, cluster.Config{Nodes: 1, CoresPerNode: 4}},
+	}
+	eng := New(Options{Workers: 2})
+	resps, err := eng.RunBatch(reqs)
+	if err == nil {
+		t.Fatal("batch with an invalid request must fail")
+	}
+	if !errors.Is(err, ErrRequest) {
+		t.Fatalf("error %v must wrap ErrRequest", err)
+	}
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T must be a *RequestError", err)
+	}
+	if re.Index != 1 || re.Name != "broken" || re.Nodes != 1 || re.Cores != 4 {
+		t.Fatalf("request error misnames the request: %+v", re)
+	}
+	if !strings.Contains(re.Error(), "broken") {
+		t.Fatalf("message must carry the job name: %v", re)
+	}
+	if resps[0].Err != nil {
+		t.Fatalf("healthy request must still succeed: %v", resps[0].Err)
+	}
+}
+
+// TestCacheBound: the LRU never exceeds its capacity and reports
+// evictions.
+func TestCacheBound(t *testing.T) {
+	job := testJob(t, "stream", 1)
+	eng := New(Options{CacheEntries: 3})
+	for cores := 1; cores <= 6; cores++ {
+		if _, err := eng.Run(job, cluster.Config{Nodes: 1, CoresPerNode: cores}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("entries %d, want 3 (bounded)", st.Entries)
+	}
+	if st.Evictions != 3 {
+		t.Fatalf("evictions %d, want 3", st.Evictions)
+	}
+	// The most recent config must still hit; the oldest must re-simulate.
+	if _, err := eng.Run(job, cluster.Config{Nodes: 1, CoresPerNode: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Hits; got != 1 {
+		t.Fatalf("hits %d, want 1 (MRU retained)", got)
+	}
+	if _, err := eng.Run(job, cluster.Config{Nodes: 1, CoresPerNode: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Misses; got != 7 {
+		t.Fatalf("misses %d, want 7 (LRU evicted)", got)
+	}
+}
+
+// TestCacheDisabled: CacheEntries < 0 turns memoization off entirely.
+func TestCacheDisabled(t *testing.T) {
+	job := testJob(t, "stream", 1)
+	cfg := cluster.Config{Nodes: 1, CoresPerNode: 4}
+	eng := New(Options{CacheEntries: -1})
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Run(job, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Hits != 0 || st.Misses != 2 || st.Entries != 0 {
+		t.Fatalf("stats %+v: cache must be disabled", st)
+	}
+}
+
+// TestOptimizeCached: placement searches memoize like simulations do and
+// return the identical result object-for-value.
+func TestOptimizeCached(t *testing.T) {
+	job := testJob(t, "cholesky", 8)
+	prof, err := cluster.JobProfile(job, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{})
+	first, err := eng.Optimize(prof, nil, placeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.Optimize(prof, nil, placeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Hits != 1 {
+		t.Fatalf("hits %d, want 1", eng.Stats().Hits)
+	}
+	if first.Eval != second.Eval || len(first.Trajectory) != len(second.Trajectory) {
+		t.Fatal("cached optimize result differs")
+	}
+}
+
+// TestMetricsCSV: the flat per-request timings export with one row per
+// request and the stage columns populated.
+func TestMetricsCSV(t *testing.T) {
+	reqs := fig4Requests(t, []string{"stream"})
+	eng := New(Options{Workers: 2})
+	resps, err := eng.RunBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteMetricsCSV(&sb, BatchMetrics(resps)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(reqs)+1 {
+		t.Fatalf("%d CSV lines, want %d", len(lines), len(reqs)+1)
+	}
+	if !strings.HasPrefix(lines[0], "index,name,key,queue_wait_ns,cache_lookup_ns,sim_ns,total_ns") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	for _, resp := range resps {
+		m := resp.Metrics
+		if m.Total <= 0 || m.Total < m.Sim {
+			t.Fatalf("implausible stage timings: %+v", m)
+		}
+		if m.Key == "" {
+			t.Fatalf("cacheable request with empty key: %+v", m)
+		}
+	}
+}

@@ -7,6 +7,35 @@ import (
 	"time"
 )
 
+// WriteRows writes a header row and data rows as comma-separated lines.
+// Fields are written verbatim (no quoting): callers pass numeric and
+// identifier-class fields only, which is all the flat per-stage metric
+// structs exported through here contain.
+func WriteRows(w io.Writer, header []string, rows [][]string) error {
+	write := func(fields []string) error {
+		for i, f := range fields {
+			sep := ","
+			if i == 0 {
+				sep = ""
+			}
+			if _, err := io.WriteString(w, sep+f); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteCSV writes all records as CSV with a header row: one line per task
 // with its identity, placement, replication decision, FIT estimates, timing
 // and event list. The experiment harness uses it to export raw per-task
