@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement check-sweep
+.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement check-sweep check-serve
 
-check: vet race race-comm build-examples check-topology check-placement check-sweep bench-build
+check: vet race race-comm build-examples check-topology check-placement check-sweep check-serve bench-build
 
 # Topology gate: cmd/experiments must keep compiling against the Topology
 # API and its flat-vs-hierarchical table must keep producing (the
@@ -29,6 +29,14 @@ check-placement:
 # LRU and result cloning all sit on this path.
 check-sweep:
 	$(GO) run ./cmd/replicate -bench cholesky -scale tiny -nodes 1,2,4 -rate 1e-3 -check-cache > /dev/null
+
+# Service gate: boot appfitd on loopback, drive a 10×-skewed two-tenant
+# closed loop through appfit-load, and require both tenants to complete
+# work in proportion to their (equal) weights, a clean drain on SIGTERM
+# and balanced admission accounting (the script and appfitd both exit
+# non-zero otherwise).
+check-serve:
+	sh scripts/check_serve.sh
 
 # The communicator-isolation gate, named explicitly so `make check` always
 # runs it under -race even if the full race suite is trimmed: two Split

@@ -50,6 +50,7 @@ import (
 	"appfit/internal/fit"
 	"appfit/internal/place"
 	"appfit/internal/rt"
+	"appfit/internal/serve"
 	"appfit/internal/simnet"
 	"appfit/internal/sweep"
 	"appfit/internal/trace"
@@ -375,4 +376,56 @@ func WriteSweepMetricsCSV(w io.Writer, ms []SweepMetrics) error {
 // SweepBatchMetrics extracts the per-request metrics of a batch in order.
 func SweepBatchMetrics(resps []SweepResponse) []SweepMetrics {
 	return sweep.BatchMetrics(resps)
+}
+
+// The multi-tenant service layer (internal/serve, DESIGN.md §12): a Serve
+// wraps one sweep engine behind per-tenant bounded queues drained by
+// deficit-round-robin at configured weights, with admission control (queue
+// caps + token-bucket rate limits) that rejects fast with ErrServeAdmission
+// instead of queueing unbounded work, and a graceful drain for shutdown.
+// cmd/appfitd serves this over HTTP/JSON; cmd/appfit-load drives it.
+type (
+	// Serve is the multi-tenant server; one instance serves any number of
+	// submitting goroutines.
+	Serve = serve.Server
+	// ServeOptions names the tenants and sizes the worker pool, DRR
+	// quantum and engine.
+	ServeOptions = serve.Options
+	// ServeTenant is one tenant's admission and scheduling config: name,
+	// DRR weight, queue cap, token-bucket rate/burst.
+	ServeTenant = serve.TenantConfig
+	// ServeResponse is one request's outcome with its service metrics.
+	ServeResponse = serve.Response
+	// ServeMetrics is the flat per-request service record: tenant,
+	// admission wait, queue wait, then the engine's stage timings.
+	ServeMetrics = serve.Metrics
+	// ServeStats is the server's accounting snapshot (admitted, rejected,
+	// completed, failed, queued, inflight — per tenant and total).
+	ServeStats = serve.Stats
+	// ServeAdmissionError is a rejection's detail: tenant, reason and the
+	// size of the bounced batch. It wraps ErrServeAdmission.
+	ServeAdmissionError = serve.AdmissionError
+)
+
+// ErrServeAdmission is the sentinel every admission rejection wraps.
+var ErrServeAdmission = serve.ErrAdmission
+
+// NewServe starts a multi-tenant server over opts.Engine (or a fresh
+// engine when nil). At least one tenant is required.
+func NewServe(opts ServeOptions) (*Serve, error) { return serve.New(opts) }
+
+// ParseServeTenants parses a "name=weight[/rate[/burst[/cap]]],..." tenant
+// spec, the format cmd/appfitd's -tenants flag uses.
+func ParseServeTenants(spec string) ([]ServeTenant, error) { return serve.ParseTenants(spec) }
+
+// WriteServeMetricsCSV writes tenant-labeled per-request service metrics
+// as CSV, one row per request; ServeBatchMetrics collects them from a
+// batch's responses.
+func WriteServeMetricsCSV(w io.Writer, ms []ServeMetrics) error {
+	return serve.WriteMetricsCSV(w, ms)
+}
+
+// ServeBatchMetrics extracts the service metrics of a batch in order.
+func ServeBatchMetrics(resps []ServeResponse) []ServeMetrics {
+	return serve.BatchMetrics(resps)
 }

@@ -14,16 +14,19 @@
 //	go run ./cmd/benchjson -compare BENCH_scale.json BENCH_scale.new.json
 //
 // Gated units and their thresholds come from -gates, default
-// "ns/op=25,vus/op=1": wall time absorbs scheduler noise with a wide
-// margin, while vus/op — the Sim transport's virtual link-occupancy
-// makespan, the headline metric of the topology and placement work — is
-// deterministic for a fixed algorithm, so even a small regression there
-// is a real routing change, not noise. Units not listed (B/op,
-// allocs/op, custom counters) are recorded but never gate. Units named
-// by -info (default "hit%", the sweep engine's cache hit rate) are
-// additionally printed in the comparison so their drift stays visible,
-// but they never gate either — a hit rate is a property of the request
-// mix, not a cost.
+// "ns/op=25,vus/op=1,p99/op=25,+req/s=25": wall time absorbs scheduler
+// noise with a wide margin, while vus/op — the Sim transport's virtual
+// link-occupancy makespan, the headline metric of the topology and
+// placement work — is deterministic for a fixed algorithm, so even a
+// small regression there is a real routing change, not noise. p99/op is
+// the appfit service's tail latency in ns, gated like ns/op. A unit
+// prefixed with "+" is higher-is-better (req/s, the service's sustained
+// throughput): there a regression is the value *dropping* beyond the
+// threshold, not rising. Units not listed (B/op, allocs/op, custom
+// counters) are recorded but never gate. Units named by -info (default
+// "hit%", the sweep engine's cache hit rate) are additionally printed in
+// the comparison so their drift stays visible, but they never gate
+// either — a hit rate is a property of the request mix, not a cost.
 package main
 
 import (
@@ -64,7 +67,7 @@ func main() {
 	suite := flag.String("suite", "scale", "suite name recorded in the JSON")
 	out := flag.String("out", "", "output file (default stdout only)")
 	compare := flag.Bool("compare", false, "compare two baseline files (old new) instead of parsing stdin")
-	gatesFlag := flag.String("gates", "ns/op=25,vus/op=1", "with -compare: gated units and their regression thresholds in percent, as unit=pct[,unit=pct...]")
+	gatesFlag := flag.String("gates", "ns/op=25,vus/op=1,p99/op=25,+req/s=25", "with -compare: gated units and their regression thresholds in percent, as unit=pct[,unit=pct...]; a + prefix marks the unit higher-is-better")
 	infoFlag := flag.String("info", "hit%", "with -compare: comma-separated units printed for information but never gated")
 	flag.Parse()
 
@@ -134,14 +137,27 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(base.Benchmarks), *out)
 }
 
+// gate is one unit's regression policy: the threshold in percent and the
+// direction that counts as worse (costs per op regress upward, a "+unit"
+// throughput regresses downward).
+type gate struct {
+	pct          float64
+	higherBetter bool
+}
+
 // parseGates parses a "unit=pct[,unit=pct...]" spec into the gated-unit
-// threshold table.
-func parseGates(spec string) (map[string]float64, error) {
-	gates := make(map[string]float64)
+// threshold table; a "+" prefix on the unit marks it higher-is-better.
+func parseGates(spec string) (map[string]gate, error) {
+	gates := make(map[string]gate)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
+		}
+		g := gate{}
+		if strings.HasPrefix(part, "+") {
+			g.higherBetter = true
+			part = part[1:]
 		}
 		eq := strings.LastIndex(part, "=")
 		if eq <= 0 || eq == len(part)-1 {
@@ -151,7 +167,8 @@ func parseGates(spec string) (map[string]float64, error) {
 		if err != nil || pct < 0 {
 			return nil, fmt.Errorf("malformed -gates threshold in %q", part)
 		}
-		gates[part[:eq]] = pct
+		g.pct = pct
+		gates[part[:eq]] = g
 	}
 	if len(gates) == 0 {
 		return nil, fmt.Errorf("-gates %q names no units", spec)
@@ -172,13 +189,13 @@ func parseInfo(spec string) map[string]bool {
 
 // compareBaselines diffs new against old and returns the exit code: 0 when
 // every gated metric of every benchmark present in both stayed within its
-// unit's threshold, 1 when any regressed beyond it (higher is worse for
-// every gated unit — they are all costs per op). Benchmarks or units that
+// unit's threshold, 1 when any regressed beyond it — upward for cost
+// units, downward for higher-is-better ones. Benchmarks or units that
 // appear on only one side are reported but not failed — suites grow and
 // rotate; only a measured regression of a still-recorded metric should
 // gate. Units in info are printed alongside when both sides record them,
 // purely for the reader; they never affect the exit code.
-func compareBaselines(oldPath, newPath string, gates map[string]float64, info map[string]bool) int {
+func compareBaselines(oldPath, newPath string, gates map[string]gate, info map[string]bool) int {
 	load := func(path string) (map[string]map[string]float64, bool) {
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -240,14 +257,25 @@ func compareBaselines(oldPath, newPath string, gates map[string]float64, info ma
 				continue
 			}
 			compared++
+			g := gates[unit]
 			pct := 0.0
 			if ov > 0 {
 				pct = (nv - ov) / ov * 100
 			}
-			if ov > 0 && pct > gates[unit] {
+			bad := ov > 0 && pct > g.pct
+			limit := ""
+			if g.higherBetter {
+				// Throughput: the regression direction inverts — gate on
+				// the value dropping beyond the threshold.
+				bad = ov > 0 && pct < -g.pct
+				limit = fmt.Sprintf("%+.1f%% < -%.0f%%", pct, g.pct)
+			} else {
+				limit = fmt.Sprintf("%+.1f%% > %.0f%%", pct, g.pct)
+			}
+			if bad {
 				regressed++
-				fmt.Printf("REGRESS  %-60s %12.1f -> %12.1f %s (%+.1f%% > %.0f%%)\n",
-					name, ov, nv, unit, pct, gates[unit])
+				fmt.Printf("REGRESS  %-60s %12.1f -> %12.1f %s (%s)\n",
+					name, ov, nv, unit, limit)
 			} else {
 				fmt.Printf("ok       %-60s %12.1f -> %12.1f %s (%+.1f%%)\n", name, ov, nv, unit, pct)
 			}

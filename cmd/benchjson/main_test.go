@@ -26,7 +26,7 @@ func writeBaseline(t *testing.T, dir, name string, benches []Benchmark) string {
 // BENCH_scale.json could regress silently.
 func TestCompareGatesEveryUnit(t *testing.T) {
 	dir := t.TempDir()
-	gates := map[string]float64{"ns/op": 25, "vus/op": 1}
+	gates := map[string]gate{"ns/op": {pct: 25}, "vus/op": {pct: 1}}
 	oldPath := writeBaseline(t, dir, "old.json", []Benchmark{
 		{Name: "AllreduceFlatVsHier/hier/ranks=64-8", Iterations: 100,
 			Metrics: map[string]float64{"ns/op": 1000, "vus/op": 8.05, "B/op": 512}},
@@ -96,7 +96,7 @@ func TestCompareGatesEveryUnit(t *testing.T) {
 // file still does.
 func TestInfoUnitsNeverGate(t *testing.T) {
 	dir := t.TempDir()
-	gates := map[string]float64{"ns/op": 25}
+	gates := map[string]gate{"ns/op": {pct: 25}}
 	info := parseInfo("hit%")
 	oldPath := writeBaseline(t, dir, "info_old.json", []Benchmark{
 		{Name: "Sweep/warm-8", Metrics: map[string]float64{"ns/op": 1000, "hit%": 100}},
@@ -116,17 +116,65 @@ func TestInfoUnitsNeverGate(t *testing.T) {
 }
 
 func TestParseGates(t *testing.T) {
-	gates, err := parseGates("ns/op=25,vus/op=1")
+	gates, err := parseGates("ns/op=25,vus/op=1,p99/op=25,+req/s=25")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gates["ns/op"] != 25 || gates["vus/op"] != 1 || len(gates) != 2 {
+	want := map[string]gate{
+		"ns/op":  {pct: 25},
+		"vus/op": {pct: 1},
+		"p99/op": {pct: 25},
+		"req/s":  {pct: 25, higherBetter: true},
+	}
+	if len(gates) != len(want) {
 		t.Fatalf("gates = %v", gates)
 	}
-	for _, bad := range []string{"", "ns/op", "ns/op=", "=5", "ns/op=x", "ns/op=-3"} {
+	for u, g := range want {
+		if gates[u] != g {
+			t.Fatalf("gates[%q] = %+v, want %+v", u, gates[u], g)
+		}
+	}
+	for _, bad := range []string{"", "ns/op", "ns/op=", "=5", "ns/op=x", "ns/op=-3", "+=5"} {
 		if _, err := parseGates(bad); err == nil {
 			t.Fatalf("parseGates(%q) must fail", bad)
 		}
+	}
+}
+
+// TestCompareServiceUnits locks the service-trajectory gating: p99/op is a
+// cost (regresses upward, like ns/op), req/s is higher-is-better — a
+// throughput *drop* beyond the threshold fails, a rise of any size passes.
+func TestCompareServiceUnits(t *testing.T) {
+	dir := t.TempDir()
+	gates, err := parseGates("p99/op=25,+req/s=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPath := writeBaseline(t, dir, "svc_old.json", []Benchmark{
+		{Name: "Serve/tenants=2-8", Iterations: 100,
+			Metrics: map[string]float64{"req/s": 1000, "p99/op": 2_000_000}},
+	})
+	cases := []struct {
+		name string
+		new  map[string]float64
+		want int
+	}{
+		{"flat", map[string]float64{"req/s": 1000, "p99/op": 2_000_000}, 0},
+		{"throughput-drop-fails", map[string]float64{"req/s": 600, "p99/op": 2_000_000}, 1},
+		{"throughput-drop-within-threshold", map[string]float64{"req/s": 800, "p99/op": 2_000_000}, 0},
+		{"throughput-rise-passes", map[string]float64{"req/s": 5000, "p99/op": 2_000_000}, 0},
+		{"p99-regress-fails", map[string]float64{"req/s": 1000, "p99/op": 3_000_000}, 1},
+		{"p99-improvement-passes", map[string]float64{"req/s": 1000, "p99/op": 500_000}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newPath := writeBaseline(t, dir, tc.name+".json", []Benchmark{
+				{Name: "Serve/tenants=2-8", Iterations: 100, Metrics: tc.new},
+			})
+			if got := compareBaselines(oldPath, newPath, gates, nil); got != tc.want {
+				t.Fatalf("compare exit = %d, want %d", got, tc.want)
+			}
+		})
 	}
 }
 

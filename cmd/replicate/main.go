@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -82,7 +83,7 @@ func main() {
 	}
 
 	eng := sweep.New(sweep.Options{Workers: *parallel, CacheEntries: *cacheEntries})
-	resps, err := eng.RunBatch(reqs)
+	resps, err := eng.RunBatch(context.Background(), reqs)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,7 +107,7 @@ func main() {
 
 	if *checkCache {
 		before := eng.Stats()
-		again, err := eng.RunBatch(reqs)
+		again, err := eng.RunBatch(context.Background(), reqs)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,6 +1,7 @@
 package scale
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -73,7 +74,7 @@ func BenchmarkSweep(b *testing.B) {
 			// A fresh engine with the cache disabled: nothing carries over,
 			// so this times the pool alone on cold unique work.
 			eng := sweep.New(sweep.Options{Workers: workers, CacheEntries: -1})
-			if _, err := eng.RunBatch(base); err != nil {
+			if _, err := eng.RunBatch(context.Background(), base); err != nil {
 				b.Fatal(err)
 			}
 			last = eng.Stats()
@@ -91,7 +92,7 @@ func BenchmarkSweep(b *testing.B) {
 		var last sweep.Stats
 		for i := 0; i < b.N; i++ {
 			eng := sweep.New(sweep.Options{})
-			if _, err := eng.RunBatch(rep); err != nil {
+			if _, err := eng.RunBatch(context.Background(), rep); err != nil {
 				b.Fatal(err)
 			}
 			last = eng.Stats()
@@ -101,13 +102,13 @@ func BenchmarkSweep(b *testing.B) {
 	})
 	b.Run("warm", func(b *testing.B) {
 		eng := sweep.New(sweep.Options{})
-		if _, err := eng.RunBatch(base); err != nil {
+		if _, err := eng.RunBatch(context.Background(), base); err != nil {
 			b.Fatal(err)
 		}
 		before := eng.Stats()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.RunBatch(base); err != nil {
+			if _, err := eng.RunBatch(context.Background(), base); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -9,6 +9,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"appfit/internal/cluster"
 	"appfit/internal/deps"
@@ -181,9 +182,17 @@ func (b *JobBuilder) Task(label string, node int, flops, memBytes int64, accs ..
 		Cost:     b.cm.Cost(flops, memBytes),
 		ArgBytes: argBytes,
 	}
-	for p, bytes := range predBytes {
+	// Emit edges in sorted predecessor order: map iteration would build a
+	// different (if equivalent) job each call, splitting content-addressed
+	// cache keys across otherwise-identical requests.
+	preds := make([]int, 0, len(predBytes))
+	for p := range predBytes {
+		preds = append(preds, p)
+	}
+	sort.Ints(preds)
+	for _, p := range preds {
 		t.Deps = append(t.Deps, p)
-		t.DepBytes = append(t.DepBytes, bytes)
+		t.DepBytes = append(t.DepBytes, predBytes[p])
 	}
 	b.job.Tasks = append(b.job.Tasks, t)
 	return idx

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"appfit/internal/cluster"
@@ -123,5 +124,31 @@ func TestJobBuilderProducesRunnableJob(t *testing.T) {
 	}
 	if res.Messages < 2 {
 		t.Fatalf("cross-node edges not charged: %d messages", res.Messages)
+	}
+}
+
+// TestJobBuilderDeterministic: two builds of the same task stream are
+// deep-equal, edge order included — the property the sweep engine's
+// content-addressed cache needs to hit across independently built requests
+// (a served request is rebuilt from its spec on every submission).
+func TestJobBuilderDeterministic(t *testing.T) {
+	build := func() cluster.Job {
+		jb := NewJobBuilder("t", DefaultCostModel())
+		// Fan-in with several predecessors, so a map-ordered emit would
+		// permute Deps between builds.
+		a := jb.Task("a", 0, 10, 0, WAcc("A", 8))
+		b := jb.Task("b", 0, 10, 0, WAcc("B", 8))
+		c := jb.Task("c", 0, 10, 0, WAcc("C", 8))
+		jb.Task("sum", 0, 10, 0, RAcc("A", 8), RAcc("B", 8), RAcc("C", 8), WAcc("S", 8))
+		_ = []int{a, b, c}
+		return jb.Job()
+	}
+	j1, j2 := build(), build()
+	if !reflect.DeepEqual(j1, j2) {
+		t.Fatalf("builds differ:\n%+v\n%+v", j1, j2)
+	}
+	want := []int{0, 1, 2}
+	if got := j1.Tasks[3].Deps; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fan-in deps %v, want sorted %v", got, want)
 	}
 }

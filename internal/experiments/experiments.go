@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -261,7 +262,7 @@ func Fig4Requests(scale workload.Scale, ws []workload.Workload) []sweep.Request 
 // silently shortened table.
 func Fig4(eng *sweep.Engine, scale workload.Scale) ([]Fig4Row, string, error) {
 	ws := bench.All()
-	resps, err := eng.RunBatch(Fig4Requests(scale, ws))
+	resps, err := eng.RunBatch(context.Background(), Fig4Requests(scale, ws))
 	if err != nil {
 		return nil, "", fmt.Errorf("experiments: fig4: %w", err)
 	}
@@ -344,7 +345,7 @@ func Fig5(eng *sweep.Engine, scale workload.Scale) ([]ScalingPoint, string, erro
 			}
 		}
 	}
-	resps, err := eng.RunBatch(reqs)
+	resps, err := eng.RunBatch(context.Background(), reqs)
 	if err != nil {
 		return nil, "", fmt.Errorf("experiments: fig5: %w", err)
 	}
@@ -397,7 +398,7 @@ func Fig6(eng *sweep.Engine, scale workload.Scale) ([]ScalingPoint, string, erro
 			}
 		}
 	}
-	resps, err := eng.RunBatch(reqs)
+	resps, err := eng.RunBatch(context.Background(), reqs)
 	if err != nil {
 		return nil, "", fmt.Errorf("experiments: fig6: %w", err)
 	}
@@ -542,7 +543,7 @@ func SpareCoreSweep(eng *sweep.Engine, benchName string, scale workload.Scale) (
 				Nodes: 1, CoresPerNode: c, Replicated: cluster.All(len(job.Tasks)),
 			}})
 	}
-	resps, err := eng.RunBatch(reqs)
+	resps, err := eng.RunBatch(context.Background(), reqs)
 	if err != nil {
 		return "", fmt.Errorf("experiments: spare-core sweep: %w", err)
 	}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"appfit/internal/sweep"
+)
+
+// item is one admitted request waiting in (or dispatched from) its
+// tenant's queue.
+type item struct {
+	ctx       context.Context
+	t         *tenant
+	req       sweep.Request
+	index     int
+	submitted time.Time
+	enqueued  time.Time
+	resp      *Response
+	wg        *sync.WaitGroup
+}
+
+// tenant is one tenant's service state: configuration, token bucket, FIFO
+// queue with its DRR deficit, and admission accounting. All fields are
+// guarded by the Server mutex.
+type tenant struct {
+	name     string
+	weight   int
+	queueCap int
+
+	// Token bucket (Rate > 0 only).
+	rate, burst, tokens float64
+	last                time.Time
+
+	// DRR state.
+	queue   []*item
+	deficit int64
+	active  bool
+
+	// Accounting.
+	admitted, rejected, completed, failed uint64
+	inflight                              int
+}
+
+// cost is a request's DRR charge in task units: fairness is shares of
+// simulated work, so a tenant submitting 1000-task DAGs drains its deficit
+// 1000× faster than one submitting single-task probes.
+func cost(it *item) int64 {
+	if n := int64(len(it.req.Job.Tasks)); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// drr is the deficit-round-robin scheduler over the active tenants (the
+// ones with a non-empty queue). Each time the round-robin cursor arrives
+// at a tenant (a "visit"), the tenant's deficit grows by quantum × weight;
+// the tenant then dequeues head requests while its deficit covers their
+// cost — it is never dequeued past its deficit, the invariant the
+// testing/quick property in drr_test.go drives. A tenant whose queue
+// empties forfeits its remaining deficit (classic DRR: credit never
+// accumulates while idle); a tenant whose head costs more than its deficit
+// keeps the deficit and accumulates more next visit, so oversized requests
+// are delayed, never starved.
+//
+// All methods require the owning Server's mutex: the dequeue order is a
+// deterministic function of the push order regardless of how many workers
+// pull from it.
+type drr struct {
+	quantum int64
+	active  []*tenant
+	cur     int
+	// fresh marks that the cursor just arrived at active[cur], so the next
+	// dequeue attempt starts a visit (adds quantum × weight) first.
+	fresh bool
+}
+
+// push appends it to t's queue, activating the tenant if idle; it stamps
+// the item's owner so dequeued items always name their tenant.
+func (d *drr) push(t *tenant, it *item) {
+	it.t = t
+	t.queue = append(t.queue, it)
+	if !t.active {
+		t.active = true
+		d.active = append(d.active, t)
+		if len(d.active) == 1 {
+			d.cur, d.fresh = 0, true
+		}
+	}
+}
+
+// next returns the next request in DRR order, or nil when every queue is
+// empty.
+func (d *drr) next() *item {
+	if len(d.active) == 0 {
+		return nil
+	}
+	for {
+		t := d.active[d.cur]
+		if d.fresh {
+			t.deficit += int64(t.weight) * d.quantum
+			d.fresh = false
+		}
+		if it := t.queue[0]; t.deficit >= cost(it) {
+			t.queue[0] = nil
+			t.queue = t.queue[1:]
+			t.deficit -= cost(it)
+			if len(t.queue) == 0 {
+				t.deficit = 0
+				t.active = false
+				d.active = append(d.active[:d.cur], d.active[d.cur+1:]...)
+				if d.cur >= len(d.active) {
+					d.cur = 0
+				}
+				d.fresh = true
+			}
+			return it
+		}
+		// Head costs more than the remaining deficit: move on, keeping the
+		// deficit so the tenant can afford it on a later visit.
+		d.cur = (d.cur + 1) % len(d.active)
+		d.fresh = true
+	}
+}

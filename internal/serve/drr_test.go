@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"appfit/internal/cluster"
+	"appfit/internal/sweep"
+)
+
+// costItem builds a queue item whose DRR cost is c task units.
+func costItem(c int) *item {
+	return &item{req: sweep.Request{Job: cluster.Job{Tasks: make([]cluster.Task, c)}}}
+}
+
+// TestDRRNeverDequeuesPastDeficit is the scheduler's core property, driven
+// by testing/quick: over random tenant sets (weights, backlogs, per-request
+// costs) and random push/next interleavings, a tenant's deficit never goes
+// negative — every dequeue was covered by previously granted quantum — and
+// the scheduler conserves work (everything pushed is eventually dequeued,
+// per-tenant in FIFO order).
+func TestDRRNeverDequeuesPastDeficit(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTenants := 1 + rng.Intn(8)
+		tenants := make([]*tenant, nTenants)
+		for i := range tenants {
+			tenants[i] = &tenant{name: string(rune('a' + i)), weight: 1 + rng.Intn(10)}
+		}
+		d := drr{quantum: int64(1 + rng.Intn(64))}
+
+		pending := make([][]int, nTenants) // per-tenant FIFO of expected costs
+		pushes := 40 + rng.Intn(200)
+		served := 0
+		check := func() bool {
+			for _, tn := range tenants {
+				if tn.deficit < 0 {
+					t.Errorf("seed %d: tenant %s deficit %d < 0", seed, tn.name, tn.deficit)
+					return false
+				}
+			}
+			return true
+		}
+		for step := 0; step < pushes || served < pushesDone(pending, served); step++ {
+			if step < pushes && (rng.Intn(2) == 0 || d.activeEmpty()) {
+				ti := rng.Intn(nTenants)
+				c := 1 + rng.Intn(30)
+				d.push(tenants[ti], costItem(c))
+				pending[ti] = append(pending[ti], c)
+				continue
+			}
+			it := d.next()
+			if it == nil {
+				continue
+			}
+			served++
+			// FIFO per tenant: the dequeued cost must be its tenant's
+			// oldest outstanding one.
+			ti := int(it.t.name[0] - 'a')
+			if len(pending[ti]) == 0 || int(cost(it)) != pending[ti][0] {
+				t.Errorf("seed %d: tenant %s dequeued out of FIFO order", seed, it.t.name)
+				return false
+			}
+			pending[ti] = pending[ti][1:]
+			if !check() {
+				return false
+			}
+		}
+		// Drain the rest; conservation: everything pushed comes back out.
+		for it := d.next(); it != nil; it = d.next() {
+			ti := int(it.t.name[0] - 'a')
+			if len(pending[ti]) == 0 || int(cost(it)) != pending[ti][0] {
+				t.Errorf("seed %d: drain dequeued out of FIFO order", seed)
+				return false
+			}
+			pending[ti] = pending[ti][1:]
+			if !check() {
+				return false
+			}
+		}
+		for ti := range pending {
+			if len(pending[ti]) != 0 {
+				t.Errorf("seed %d: tenant %d kept %d undelivered requests", seed, ti, len(pending[ti]))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// activeEmpty reports whether no tenant has queued work.
+func (d *drr) activeEmpty() bool { return len(d.active) == 0 }
+
+// pushesDone counts outstanding queued costs, making the driving loop's
+// termination condition readable.
+func pushesDone(pending [][]int, served int) int {
+	n := served
+	for _, p := range pending {
+		n += len(p)
+	}
+	return n
+}
+
+// TestDRRWeightedShares: with every queue permanently backlogged and
+// uniform costs, the dequeue sequence hands each tenant exactly its weight
+// share — full cycles of quantum × weight each, no drift.
+func TestDRRWeightedShares(t *testing.T) {
+	weights := map[string]int{"gold": 6, "silver": 3, "bronze": 1}
+	d := drr{quantum: 2}
+	tenants := make(map[string]*tenant)
+	for name, w := range weights {
+		tn := &tenant{name: name, weight: w}
+		tenants[name] = tn
+		for i := 0; i < 5000; i++ {
+			d.push(tn, costItem(1))
+		}
+	}
+	const K = 1000 // 50 full cycles of 2×(6+3+1) = 20 dequeues
+	counts := make(map[string]int)
+	for i := 0; i < K; i++ {
+		it := d.next()
+		if it == nil {
+			t.Fatal("scheduler ran dry with backlogged queues")
+		}
+		counts[it.t.name]++
+	}
+	if counts["gold"] != 600 || counts["silver"] != 300 || counts["bronze"] != 100 {
+		t.Fatalf("dequeue shares %v, want exactly 600/300/100 over full cycles", counts)
+	}
+}
+
+// TestDRRBigRequestNotStarved: a request costing many times the per-visit
+// quantum accumulates deficit across visits and is eventually served, even
+// while a competing tenant stays backlogged with cheap requests.
+func TestDRRBigRequestNotStarved(t *testing.T) {
+	d := drr{quantum: 10}
+	big := &tenant{name: "big", weight: 1}
+	cheap := &tenant{name: "cheap", weight: 1}
+	d.push(big, costItem(100))
+	for i := 0; i < 10000; i++ {
+		d.push(cheap, costItem(1))
+	}
+	for i := 0; i < 2000; i++ {
+		if it := d.next(); it.t == big {
+			if i > 1200 {
+				t.Fatalf("big request served only after %d dequeues", i)
+			}
+			return
+		}
+	}
+	t.Fatal("100-cost request starved behind cheap backlog")
+}

@@ -1,0 +1,345 @@
+// Package httpapi is the HTTP/JSON wire layer of the appfit service: the
+// request/response types, the server-side handler cmd/appfitd mounts, and
+// the client cmd/appfit-load drives. Jobs travel as named benchmark specs
+// (benchmark × scale × machine shape), not serialized DAGs — the daemon
+// builds the DAG from the same workload registry the experiment drivers
+// use, so a request is a few dozen bytes and the server stays in charge of
+// canonical job construction (which is also what makes the engine's
+// content-addressed cache effective across tenants).
+//
+// Endpoints:
+//
+//	POST /submit  {"tenant": "...", "requests": [JobSpec...]}
+//	              → SubmitResponse | 4xx/5xx ErrorResponse
+//	GET  /stats   → serve.Stats snapshot
+//	GET  /healthz → 200 "ok", 503 "draining" while shutting down
+//
+// Admission rejections map to HTTP statuses (429 for queue-full and
+// rate-limited, 503 draining, 404 unknown tenant) and the client maps them
+// back to *serve.AdmissionError, so errors.Is(err, serve.ErrAdmission)
+// works identically in-process and over the wire.
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"appfit/internal/bench"
+	"appfit/internal/bench/workload"
+	"appfit/internal/cluster"
+	"appfit/internal/fault"
+	"appfit/internal/serve"
+	"appfit/internal/sweep"
+)
+
+// JobSpec names one simulation request: a registered benchmark at a
+// workload scale on a machine shape, with optional fault injection and
+// complete replication. The zero fields default like cmd/replicate's
+// flags: nodes 1, cores 16, seed 42.
+type JobSpec struct {
+	Bench string  `json:"bench"`
+	Scale string  `json:"scale,omitempty"`
+	Nodes int     `json:"nodes,omitempty"`
+	Cores int     `json:"cores,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+	// Replicate selects complete replication for every task.
+	Replicate bool `json:"replicate,omitempty"`
+}
+
+// jobCache memoizes built jobs by (bench, scale, nodes): a JobSpec's job
+// is fully determined by those three fields (seed, rate and cores shape
+// only the cluster.Config), and the builders are deterministic, so
+// rebuilding a several-thousand-task DAG per request would just burn the
+// serving CPU — at stream/small a build costs more than the simulation it
+// feeds. Jobs are shared, never mutated: the engine hashes and simulates
+// them read-only, exactly as the sweep drivers already share one job
+// across a whole replication sweep.
+var jobCache struct {
+	sync.Mutex
+	m map[jobKey]cluster.Job
+}
+
+type jobKey struct {
+	bench string
+	scale string
+	nodes int
+}
+
+func builtJob(benchName string, scale workload.Scale, scaleName string, nodes int) (cluster.Job, error) {
+	key := jobKey{bench: benchName, scale: scaleName, nodes: nodes}
+	jobCache.Lock()
+	defer jobCache.Unlock()
+	if job, ok := jobCache.m[key]; ok {
+		return job, nil
+	}
+	w, err := bench.ByName(benchName)
+	if err != nil {
+		return cluster.Job{}, err
+	}
+	job := w.BuildJob(scale, nodes, workload.DefaultCostModel())
+	if jobCache.m == nil {
+		jobCache.m = make(map[jobKey]cluster.Job)
+	}
+	// The key space is tiny (registered benches × three scales × node
+	// counts), but a cap keeps a client sweeping nodes from growing the
+	// map without bound.
+	if len(jobCache.m) >= 256 {
+		jobCache.m = make(map[jobKey]cluster.Job)
+	}
+	jobCache.m[key] = job
+	return job, nil
+}
+
+// Request builds the sweep request the spec names.
+func (s JobSpec) Request() (sweep.Request, error) {
+	var scale workload.Scale
+	switch s.Scale {
+	case "", "tiny":
+		scale = workload.Tiny
+	case "small":
+		scale = workload.Small
+	case "medium":
+		scale = workload.Medium
+	default:
+		return sweep.Request{}, fmt.Errorf("httpapi: unknown scale %q", s.Scale)
+	}
+	nodes := s.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	cores := s.Cores
+	if cores < 1 {
+		cores = 16
+	}
+	if s.Rate < 0 || s.Rate >= 1 {
+		return sweep.Request{}, fmt.Errorf("httpapi: fault rate %g outside [0, 1)", s.Rate)
+	}
+	job, err := builtJob(s.Bench, scale, s.Scale, nodes)
+	if err != nil {
+		return sweep.Request{}, err
+	}
+	cfg := cluster.Config{Nodes: nodes, CoresPerNode: cores}
+	if s.Rate > 0 {
+		seed := s.Seed
+		if seed == 0 {
+			seed = 42
+		}
+		cfg.Injector = fault.NewFixedRate(seed, s.Rate/2, s.Rate/2)
+	}
+	if s.Replicate {
+		cfg.Replicated = cluster.All(len(job.Tasks))
+	}
+	return sweep.Request{Job: job, Config: cfg}, nil
+}
+
+// SubmitRequest is the POST /submit body.
+type SubmitRequest struct {
+	Tenant   string    `json:"tenant"`
+	Requests []JobSpec `json:"requests"`
+}
+
+// Result is one request's outcome on the wire: the headline simulation
+// numbers plus the full service metrics (identity and stage timings).
+type Result struct {
+	Name       string        `json:"name"`
+	MakespanNS int64         `json:"makespan_ns"`
+	Err        string        `json:"err,omitempty"`
+	Metrics    serve.Metrics `json:"metrics"`
+}
+
+// SubmitResponse is the POST /submit success body, one Result per request
+// in batch order.
+type SubmitResponse struct {
+	Results []Result `json:"results"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Tenant string `json:"tenant,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// NewHandler mounts the service API over s.
+func NewHandler(s *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /submit", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad submit body: %v", err)})
+			return
+		}
+		if len(req.Requests) == 0 {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: "submit body names no requests", Tenant: req.Tenant})
+			return
+		}
+		reqs := make([]sweep.Request, len(req.Requests))
+		for i, spec := range req.Requests {
+			sr, err := spec.Request()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Tenant: req.Tenant})
+				return
+			}
+			reqs[i] = sr
+		}
+		resps, err := s.Submit(r.Context(), req.Tenant, reqs)
+		if ae := (*serve.AdmissionError)(nil); asAdmission(err, &ae) {
+			writeError(w, admissionStatus(ae), ErrorResponse{Error: ae.Error(), Tenant: ae.Tenant, Reason: ae.Reason})
+			return
+		}
+		// Per-request failures ride inside the results; the batch itself
+		// succeeded at the service level.
+		out := SubmitResponse{Results: make([]Result, len(resps))}
+		for i, resp := range resps {
+			res := Result{Name: resp.Metrics.Name, MakespanNS: int64(resp.Result.Makespan), Metrics: resp.Metrics}
+			if resp.Err != nil {
+				res.Err = resp.Err.Error()
+			}
+			out.Results[i] = res
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Stats().Draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// asAdmission reports whether err is an *serve.AdmissionError, storing it.
+func asAdmission(err error, out **serve.AdmissionError) bool {
+	if err == nil {
+		return false
+	}
+	ae, ok := err.(*serve.AdmissionError)
+	if ok {
+		*out = ae
+	}
+	return ok
+}
+
+// admissionStatus maps a rejection reason to its HTTP status.
+func admissionStatus(ae *serve.AdmissionError) int {
+	switch ae.Reason {
+	case serve.ReasonUnknownTenant:
+		return http.StatusNotFound
+	case serve.ReasonDraining:
+		return http.StatusServiceUnavailable
+	default: // queue full, rate limited
+		return http.StatusTooManyRequests
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, e ErrorResponse) {
+	writeJSON(w, status, e)
+}
+
+// Client drives the API from a base URL like "http://127.0.0.1:8080".
+type Client struct {
+	Base string
+	// HTTP is the transport; nil means a client with a 5-minute timeout
+	// (submissions block until the batch is served).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+// Submit posts one batch and decodes the results. A rejection comes back
+// as a *serve.AdmissionError reconstructed from the wire, so callers can
+// errors.Is(err, serve.ErrAdmission) exactly as in-process.
+func (c *Client) Submit(ctx context.Context, tenant string, specs []JobSpec) (*SubmitResponse, error) {
+	body, err := json.Marshal(SubmitRequest{Tenant: tenant, Requests: specs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/submit", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Reason != "" {
+			return nil, &serve.AdmissionError{Tenant: e.Tenant, Reason: e.Reason, Requests: len(specs)}
+		}
+		return nil, fmt.Errorf("httpapi: submit: %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	var out SubmitResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("httpapi: submit: bad response body: %w", err)
+	}
+	return &out, nil
+}
+
+// Stats fetches the server's accounting snapshot.
+func (c *Client) Stats(ctx context.Context) (*serve.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: stats: %s", resp.Status)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Healthy reports whether the daemon answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"appfit/internal/trace"
+)
+
+// Metrics is the flat per-request service timing record: identity first
+// (tenant, batch index, job name, cache key), then one field per pipeline
+// stage — the same shape as sweep.Metrics with the service stages in
+// front. Exported via WriteMetricsCSV (trace.WriteRows underneath, like
+// sweep.WriteMetricsCSV); cmd/appfit-load dumps these behind -csv.
+type Metrics struct {
+	// Tenant is the submitting tenant's name.
+	Tenant string `json:"tenant"`
+	// Index is the request's position in its submitted batch.
+	Index int `json:"index"`
+	// Name is the request's job name.
+	Name string `json:"name"`
+	// Key is the hex prefix of the engine's cache key ("" if uncacheable).
+	Key string `json:"key,omitempty"`
+	// AdmissionWait is Submit entry → admission passed (queue + bucket
+	// checks).
+	AdmissionWait time.Duration `json:"admission_wait_ns"`
+	// QueueWait is admission → DRR dispatch to a service worker.
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	// CacheLookup and Sim are the engine's stages (sweep.Metrics).
+	CacheLookup time.Duration `json:"cache_lookup_ns"`
+	Sim         time.Duration `json:"sim_ns"`
+	// Total is Submit entry → response.
+	Total time.Duration `json:"total_ns"`
+	// CacheHit / Coalesced mirror the engine's cache flags.
+	CacheHit  bool `json:"cache_hit"`
+	Coalesced bool `json:"coalesced"`
+}
+
+// MetricsHeader is the CSV column contract of WriteMetricsCSV, identity
+// columns first; the golden-header test locks it so the shape cannot
+// drift silently under consumers of appfit-load -csv output.
+var MetricsHeader = []string{"tenant", "index", "name", "key",
+	"admission_wait_ns", "queue_wait_ns", "cache_lookup_ns", "sim_ns",
+	"total_ns", "cache_hit", "coalesced"}
+
+// WriteMetricsCSV exports tenant-labeled service metrics as CSV, one row
+// per request in the order given.
+func WriteMetricsCSV(w io.Writer, ms []Metrics) error {
+	rows := make([][]string, len(ms))
+	for i, m := range ms {
+		rows[i] = []string{
+			m.Tenant,
+			strconv.Itoa(m.Index),
+			m.Name,
+			m.Key,
+			strconv.FormatInt(m.AdmissionWait.Nanoseconds(), 10),
+			strconv.FormatInt(m.QueueWait.Nanoseconds(), 10),
+			strconv.FormatInt(m.CacheLookup.Nanoseconds(), 10),
+			strconv.FormatInt(m.Sim.Nanoseconds(), 10),
+			strconv.FormatInt(m.Total.Nanoseconds(), 10),
+			strconv.FormatBool(m.CacheHit),
+			strconv.FormatBool(m.Coalesced),
+		}
+	}
+	return trace.WriteRows(w, MetricsHeader, rows)
+}
+
+// BatchMetrics collects the Metrics column of a batch's responses.
+func BatchMetrics(resps []Response) []Metrics {
+	ms := make([]Metrics, len(resps))
+	for i, r := range resps {
+		ms[i] = r.Metrics
+	}
+	return ms
+}

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -60,6 +61,30 @@ func MinMax(xs []float64) (min, max float64) {
 		}
 	}
 	return min, max
+}
+
+// Percentile returns the p-th percentile of xs (p in [0, 100]) by linear
+// interpolation between closest ranks, 0 for empty input. xs need not be
+// sorted; the input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // GeoMean returns the geometric mean of positive xs (0 if any are ≤ 0).

@@ -12,9 +12,10 @@
 //   - semantically-equal spellings collapse: Config defaults are resolved
 //     via Config.Normalized before encoding, a task's OutBytes of 0 encodes
 //     as its ArgBytes (what the simulator charges), nil DepBytes encodes as
-//     per-edge zeros, and Replicated encodes as the sorted index set of
-//     true entries (nil, all-false and trailing-false spellings digest
-//     identically);
+//     per-edge zeros, a task's dependency edges encode sorted by (dep,
+//     bytes) — the simulator treats them as a set — and Replicated encodes
+//     as the sorted index set of true entries (nil, all-false and
+//     trailing-false spellings digest identically);
 //   - nothing is ever encoded by iterating a Go map: fault.Script sorts its
 //     programmed entries (fault.Keyer's contract) and place.Profile's
 //     Entries view is sorted by (src, dst, size), so map iteration order
@@ -33,6 +34,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"math"
+	"sort"
 
 	"appfit/internal/cluster"
 	"appfit/internal/fault"
@@ -133,14 +135,26 @@ func tasksDigest(tasks []cluster.Task) [sha256.Size]byte {
 			out = t.ArgBytes // what the simulator compares (sim.outBytes)
 		}
 		b = appendI64(b, out)
+		// A task's dependency list is a set: the simulator waits on all
+		// predecessors regardless of edge order, so encode edges sorted by
+		// (dep, bytes) and permuted spellings digest identically.
 		b = appendU64(b, uint64(len(t.Deps)))
+		edges := make([][2]int64, len(t.Deps))
 		for k, d := range t.Deps {
-			b = appendI64(b, int64(d))
-			var bytes int64
+			edges[k][0] = int64(d)
 			if t.DepBytes != nil {
-				bytes = t.DepBytes[k]
+				edges[k][1] = t.DepBytes[k]
 			}
-			b = appendI64(b, bytes)
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		for _, e := range edges {
+			b = appendI64(b, e[0])
+			b = appendI64(b, e[1])
 		}
 	}
 	return sha256.Sum256(b)

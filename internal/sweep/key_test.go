@@ -71,6 +71,12 @@ func rebuild(job cluster.Job, cfg cluster.Config) (cluster.Job, cluster.Config) 
 			// nil DepBytes means all-zero payloads: the explicit spelling.
 			t2.DepBytes = make([]int64, len(t.Deps))
 		}
+		// Reverse the edge list: dependencies are a set to the simulator,
+		// so edge order is another neutral respelling.
+		for i, j := 0, len(t2.Deps)-1; i < j; i, j = i+1, j-1 {
+			t2.Deps[i], t2.Deps[j] = t2.Deps[j], t2.Deps[i]
+			t2.DepBytes[i], t2.DepBytes[j] = t2.DepBytes[j], t2.DepBytes[i]
+		}
 		if t.OutBytes == 0 {
 			// 0 means "compare ArgBytes": the explicit spelling.
 			t2.OutBytes = t.ArgBytes

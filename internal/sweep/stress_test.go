@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -47,7 +48,7 @@ func TestEngineConcurrentCallersStress(t *testing.T) {
 			// different orders.
 			reqs := append(append([]Request(nil), base[c%len(base):]...), base[:c%len(base)]...)
 			for round := 0; round < 3; round++ {
-				resps, err := eng.RunBatch(reqs)
+				resps, err := eng.RunBatch(context.Background(), reqs)
 				if err != nil {
 					errC <- err
 					return

@@ -25,6 +25,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -212,7 +213,13 @@ func (e *Engine) Stats() Stats {
 // result: cache hit → stored value; identical request in flight → wait and
 // share; otherwise run fn and store. The returned flags report which path
 // answered. fn's result must be immutable or cloned by the caller.
-func (e *Engine) do(key [32]byte, fn func() (any, error)) (val any, err error, hit, coalesced bool) {
+//
+// ctx governs only the waiting: a coalesced waiter whose ctx expires
+// detaches with ctx.Err() while the shared in-flight execution keeps
+// running for everyone else (and still populates the cache). The executing
+// caller itself runs fn to completion — a simulation is never torn down
+// mid-flight on behalf of one cancelled requester.
+func (e *Engine) do(ctx context.Context, key [32]byte, fn func() (any, error)) (val any, err error, hit, coalesced bool) {
 	e.mu.Lock()
 	if e.cache != nil {
 		if v, ok := e.cache.get(key); ok {
@@ -223,9 +230,13 @@ func (e *Engine) do(key [32]byte, fn func() (any, error)) (val any, err error, h
 	}
 	if c, ok := e.inflight[key]; ok {
 		e.mu.Unlock()
-		<-c.done
-		e.coalesced.Add(1)
-		return c.val, c.err, false, true
+		select {
+		case <-c.done:
+			e.coalesced.Add(1)
+			return c.val, c.err, false, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), false, false
+		}
 	}
 	c := &call{done: make(chan struct{})}
 	e.inflight[key] = c
@@ -253,11 +264,20 @@ type preKey struct {
 
 // runOne executes one request through the cache/singleflight path, filling
 // the per-stage metrics. enqueued is when the request entered the engine;
-// pre carries a batch-precomputed key (nil for single Run calls).
-func (e *Engine) runOne(idx int, req Request, enqueued time.Time, pre *preKey) Response {
+// pre carries a batch-precomputed key (nil for single Run calls). A ctx
+// already expired at pickup fails the request without simulating — a
+// cancelled request stops waiting in the queue instead of running to
+// completion.
+func (e *Engine) runOne(ctx context.Context, idx int, req Request, enqueued time.Time, pre *preKey) Response {
 	e.requests.Add(1)
 	started := time.Now()
 	m := Metrics{Index: idx, Name: req.Job.Name, QueueWait: started.Sub(enqueued)}
+	if err := ctx.Err(); err != nil {
+		m.Total = time.Since(enqueued)
+		cfg := req.Config.Normalized()
+		return Response{Err: &RequestError{Index: idx, Name: req.Job.Name,
+			Nodes: cfg.Nodes, Cores: cfg.CoresPerNode, Err: err}, Metrics: m}
+	}
 
 	var key [32]byte
 	var cacheable bool
@@ -280,7 +300,7 @@ func (e *Engine) runOne(idx int, req Request, enqueued time.Time, pre *preKey) R
 	} else {
 		var v any
 		var hit, coal bool
-		v, err, hit, coal = e.do(key, func() (any, error) {
+		v, err, hit, coal = e.do(ctx, key, func() (any, error) {
 			r, err := cluster.Run(req.Job, req.Config)
 			return r, err
 		})
@@ -315,8 +335,18 @@ func cloneResult(r cluster.Result) cluster.Result {
 // Run executes one request (through the cache and coalescing) and blocks
 // for its result.
 func (e *Engine) Run(job cluster.Job, cfg cluster.Config) (cluster.Result, error) {
-	resp := e.runOne(0, Request{Job: job, Config: cfg}, time.Now(), nil)
+	resp := e.runOne(context.Background(), 0, Request{Job: job, Config: cfg}, time.Now(), nil)
 	return resp.Result, resp.Err
+}
+
+// RunRequest executes one request under ctx: an already-expired ctx fails
+// the request without simulating, and a ctx that expires while the request
+// waits on an identical in-flight twin detaches the waiter (the twin keeps
+// running and still populates the cache). It is the single-request entry
+// the service layer (internal/serve) dispatches through, so every queued
+// request it drops on cancellation carries its own deadline.
+func (e *Engine) RunRequest(ctx context.Context, req Request) Response {
+	return e.runOne(ctx, 0, req, time.Now(), nil)
 }
 
 // RunBatch executes a batch across the worker pool and returns one
@@ -325,7 +355,12 @@ func (e *Engine) Run(job cluster.Job, cfg cluster.Config) (cluster.Result, error
 // failure in request order (a *RequestError naming the request), nil when
 // every request succeeded; responses for failed requests carry their own
 // errors too, so drivers can report all failures or just die on the first.
-func (e *Engine) RunBatch(reqs []Request) ([]Response, error) {
+//
+// ctx cancellation is a fail-fast, not a teardown: requests not yet picked
+// up (or still waiting on a coalesced twin) fail with ctx.Err() wrapped in
+// their RequestError, while simulations already executing run to
+// completion — their results stay valid and cached.
+func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]Response, error) {
 	out := make([]Response, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
@@ -350,7 +385,7 @@ func (e *Engine) RunBatch(reqs []Request) ([]Response, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = e.runOne(i, reqs[i], enqueued, &keys[i])
+				out[i] = e.runOne(ctx, i, reqs[i], enqueued, &keys[i])
 			}
 		}()
 	}
@@ -376,7 +411,7 @@ func (e *Engine) RunBatch(reqs []Request) ([]Response, error) {
 func (e *Engine) Optimize(p *place.Profile, start *simnet.Topology, opts place.Options) (place.Result, error) {
 	e.requests.Add(1)
 	key := OptimizeKey(p, start, opts)
-	v, err, _, _ := e.do(key, func() (any, error) {
+	v, err, _, _ := e.do(context.Background(), key, func() (any, error) {
 		return place.Optimize(p, start, opts)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -62,7 +63,7 @@ func TestRunBatchMatchesSerial(t *testing.T) {
 	}
 
 	eng := New(Options{Workers: 8})
-	resps, err := eng.RunBatch(reqs)
+	resps, err := eng.RunBatch(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +96,12 @@ func TestRunBatchMatchesSerial(t *testing.T) {
 func TestWarmCacheHits(t *testing.T) {
 	reqs := fig4Requests(t, []string{"stream", "perlin"})
 	eng := New(Options{Workers: 4})
-	first, err := eng.RunBatch(reqs)
+	first, err := eng.RunBatch(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := eng.Stats()
-	second, err := eng.RunBatch(reqs)
+	second, err := eng.RunBatch(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestBatchErrorNamesRequest(t *testing.T) {
 		{bad, cluster.Config{Nodes: 1, CoresPerNode: 4}},
 	}
 	eng := New(Options{Workers: 2})
-	resps, err := eng.RunBatch(reqs)
+	resps, err := eng.RunBatch(context.Background(), reqs)
 	if err == nil {
 		t.Fatal("batch with an invalid request must fail")
 	}
@@ -195,6 +196,94 @@ func TestBatchErrorNamesRequest(t *testing.T) {
 	}
 	if resps[0].Err != nil {
 		t.Fatalf("healthy request must still succeed: %v", resps[0].Err)
+	}
+}
+
+// TestRunBatchCancelledFailsFast: a batch submitted under an expired
+// context must fail every request with the context error wrapped in its
+// RequestError — a cancelled request stops waiting in the queue instead of
+// running to completion — and must not simulate anything.
+func TestRunBatchCancelledFailsFast(t *testing.T) {
+	reqs := fig4Requests(t, []string{"stream", "fft"})
+	eng := New(Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resps, err := eng.RunBatch(ctx, reqs)
+	if err == nil {
+		t.Fatal("cancelled batch must fail")
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrRequest) {
+		t.Fatalf("error %v must wrap both context.Canceled and ErrRequest", err)
+	}
+	for i, resp := range resps {
+		if !errors.Is(resp.Err, context.Canceled) {
+			t.Fatalf("request %d: err %v, want context.Canceled", i, resp.Err)
+		}
+	}
+	st := eng.Stats()
+	if st.Misses != 0 || st.Uncacheable != 0 {
+		t.Fatalf("stats %+v: cancelled batch must not simulate", st)
+	}
+}
+
+// TestCoalescedWaiterDetachesOnCancel: a request waiting on an identical
+// in-flight twin detaches with ctx.Err() when its deadline expires, while
+// the shared execution keeps running, completes, and still populates the
+// cache for later callers.
+func TestCoalescedWaiterDetachesOnCancel(t *testing.T) {
+	eng := New(Options{})
+	var key [32]byte
+	key[0] = 0xA5
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, err, _, _ := eng.do(context.Background(), key, func() (any, error) {
+			close(started)
+			<-release
+			return "shared", nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	<-started
+
+	// The waiter joins the in-flight call, then its context is cancelled
+	// while the leader is still executing.
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err, _, _ := eng.do(ctx, key, func() (any, error) {
+			t.Error("waiter must coalesce, not execute")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	// Cancelling is race-free regardless of whether the waiter has parked
+	// yet: the leader stays in flight until release, so the waiter's only
+	// exits are the in-flight wait (then Done fires) or an entry with Done
+	// already closed.
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("detached waiter err %v, want context.Canceled", err)
+	}
+
+	// The shared execution was not cancelled: release it, it completes and
+	// its result is cached.
+	close(release)
+	<-leaderDone
+	v, err, hit, _ := eng.do(context.Background(), key, func() (any, error) {
+		t.Error("result must be served from the cache")
+		return nil, nil
+	})
+	if err != nil || !hit || v != "shared" {
+		t.Fatalf("post-detach probe: v=%v err=%v hit=%v, want cached \"shared\"", v, err, hit)
+	}
+	if got := eng.Stats().Coalesced; got != 0 {
+		t.Fatalf("coalesced %d, want 0 (the waiter detached, it was not served)", got)
 	}
 }
 
@@ -276,7 +365,7 @@ func TestOptimizeCached(t *testing.T) {
 func TestMetricsCSV(t *testing.T) {
 	reqs := fig4Requests(t, []string{"stream"})
 	eng := New(Options{Workers: 2})
-	resps, err := eng.RunBatch(reqs)
+	resps, err := eng.RunBatch(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}

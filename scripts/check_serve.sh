@@ -1,0 +1,77 @@
+#!/bin/sh
+# check_serve.sh — the `make check-serve` gate: boot appfitd on loopback,
+# drive a 10×-skewed two-tenant closed-loop load through appfit-load, and
+# require (1) both tenants complete work, (2) completion shares track the
+# 1:1 weights within a factor of 4 (the light tenant must not be starved
+# by the heavy one's 10× offered load), (3) the daemon drains cleanly on
+# SIGTERM and exits 0 — appfitd itself exits non-zero if its admission
+# accounting (admitted = completed + failed) does not balance after the
+# drain.
+#
+# The daemon runs with one worker and the cache disabled so the closed
+# loop saturates it and DRR — not the offered load — determines who
+# completes what; small-scale jobs make per-request service time dominate
+# the client's resubmit round trip, keeping both tenants backlogged.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+DAEMON=
+cleanup() {
+    # The daemon must die even when a check fails mid-script (set -e):
+    # a leaked appfitd would sit on the port and skew later runs.
+    [ -n "$DAEMON" ] && kill "$DAEMON" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+$GO build -o "$TMP/appfitd" ./cmd/appfitd
+$GO build -o "$TMP/appfit-load" ./cmd/appfit-load
+
+# Quantum 1 makes DRR alternate per request: a burst of consecutive
+# dequeues from the light tenant would empty its 2-deep closed-loop queue
+# and forfeit its turn, skewing completion shares for queueing reasons
+# the fairness check is not about.
+"$TMP/appfitd" -addr 127.0.0.1:0 -tenants 'heavy=1,light=1' -workers 1 -cache -1 -quantum 1 \
+    > "$TMP/appfitd.out" 2> "$TMP/appfitd.err" &
+DAEMON=$!
+
+# The daemon prints its bound address as the first stdout line.
+ADDR=
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^appfitd: listening on \(http:.*\)$/\1/p' "$TMP/appfitd.out" 2>/dev/null | head -1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$DAEMON" 2>/dev/null || { echo "check-serve: appfitd died on startup:" >&2; cat "$TMP/appfitd.err" >&2; exit 1; }
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "check-serve: appfitd never printed its listen address" >&2
+    kill "$DAEMON" 2>/dev/null || true
+    exit 1
+fi
+
+# Light runs 4 closed-loop workers (heavy 40 — the 10× skew), each
+# submitting 8-request batches: a tenant is only entitled to its DRR share
+# while its queue is non-empty, and batching keeps 32 light requests
+# standing in queue so a client-side scheduling hiccup (everything here
+# shares one small machine) cannot drain the queue and forfeit light's
+# turns. Batches also amortize the HTTP round trip, keeping the server —
+# not the closed-loop client — the bottleneck the fairness check needs.
+"$TMP/appfit-load" -addr "$ADDR" \
+    -tenants 'heavy=1/40/0,light=1/4/0' -batch 8 \
+    -bench stream -scale small -duration 3s \
+    -check-completions -check-fairness 4
+
+kill -TERM "$DAEMON"
+if ! wait "$DAEMON"; then
+    echo "check-serve: appfitd exited non-zero after SIGTERM (drain failed or accounting mismatch):" >&2
+    cat "$TMP/appfitd.err" >&2
+    DAEMON=
+    exit 1
+fi
+DAEMON=
+grep -q 'final accounting' "$TMP/appfitd.err" || {
+    echo "check-serve: appfitd drained without printing its accounting" >&2
+    exit 1
+}
+echo "check-serve: both tenants served fairly, clean drain, books balance"
