@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement check-sweep check-serve
+.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement check-sweep check-serve check-kernels
 
-check: vet race race-comm build-examples check-topology check-placement check-sweep check-serve bench-build
+check: vet race race-comm build-examples check-topology check-placement check-sweep check-serve check-kernels bench-build
 
 # Topology gate: cmd/experiments must keep compiling against the Topology
 # API and its flat-vs-hierarchical table must keep producing (the
@@ -21,6 +21,16 @@ check-topology:
 # criterion, not just a smoke run).
 check-placement:
 	$(GO) run ./cmd/experiments placement > /dev/null
+
+# Kernels gate: the distributed-kernel table carries three acceptance
+# criteria (KernelsTable errors out if any fails): Rabenseifner strictly
+# beats the tree allreduce in virtual time and wire volume on large
+# vectors; the distributed cholesky factorizes bitwise-equal to the serial
+# reference under injected faults, with hierarchical broadcasts strictly
+# cutting inter-node wire volume; and the placement optimizer strictly
+# beats the seeded random start on the recorded cholesky traffic.
+check-kernels:
+	$(GO) run ./cmd/experiments kernels > /dev/null
 
 # Sweep gate: run a small replication sweep twice through one engine and
 # require the second pass to be ≥90% cache hits with a bitwise-identical

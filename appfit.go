@@ -202,14 +202,16 @@ var (
 )
 
 // Named argument errors of the distributed layer: out-of-range rank
-// indices and malformed Comm.Split arguments are reported as wrapped named
-// errors instead of panics.
+// indices, malformed Comm.Split arguments and malformed vector-collective
+// layouts (Allgatherv/ReduceScatterv counts and displacements) are reported
+// as wrapped named errors instead of panics.
 var (
 	ErrRankOutOfRange = dist.ErrRankOutOfRange
 	ErrSplitSize      = dist.ErrSplitSize
 	ErrSplitColor     = dist.ErrSplitColor
 	ErrSplitKey       = dist.ErrSplitKey
 	ErrCollectiveArgs = dist.ErrCollectiveArgs
+	ErrVectorArgs     = dist.ErrVectorArgs
 )
 
 // NetConfig is one interconnect link cost model (latency + bandwidth);

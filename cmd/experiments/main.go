@@ -13,6 +13,7 @@
 //	experiments reliability [bench] corrupted-result counts per policy
 //	experiments topology            flat vs hierarchical collectives on the placed fabric
 //	experiments placement           random vs block vs optimized vs annealed rank→node placement
+//	experiments kernels             distributed kernels: tree vs Rabenseifner, cholesky flat vs hier, placement
 //	experiments all                 everything above
 //
 // Flags: -scale tiny|small|medium, -workers N, -repeats N, plus the sweep
@@ -149,13 +150,21 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(s)
+		case "kernels":
+			fmt.Println("=== Distributed kernels: tree vs Rabenseifner, cholesky flat vs hier, placement (64 ranks, 16/node) ===")
+			_, s, err := experiments.KernelsTable(eng, 64, 16, 32768, 1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(s)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if cmd == "all" {
-		for _, n := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation", "sweep", "sparecores", "reliability", "topology", "placement"} {
+		for _, n := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation", "sweep", "sparecores", "reliability", "topology", "placement", "kernels"} {
 			run(n)
 		}
 		st := eng.Stats()

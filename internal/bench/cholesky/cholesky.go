@@ -108,6 +108,38 @@ func clone2d(tiles [][]buffer.F64) [][]buffer.F64 {
 	return out
 }
 
+// SPD returns the deterministic lower-triangular tile array the benchmark
+// factorizes: tiles[i][j] for j <= i, seeded only by (i, j), so every caller
+// — the serial reference and every rank of a distributed build — derives
+// bitwise-identical inputs without communicating.
+func SPD(p Params) [][]buffer.F64 { return buildSPD(p) }
+
+// CloneTiles deep-copies a tile array.
+func CloneTiles(tiles [][]buffer.F64) [][]buffer.F64 { return clone2d(tiles) }
+
+// FactorSerial runs the tiled factorization in place in the exact task order
+// BuildRT submits (per k: potrf, trsms ascending i, then per i the syrk and
+// its gemms): the serial reference a distributed factorization must match
+// bitwise, since every tile kernel sees bit-identical operands in the same
+// sequence.
+func FactorSerial(tiles [][]buffer.F64, p Params) error {
+	for k := 0; k < p.Nb; k++ {
+		if err := kern.Potrf(tiles[k][k], p.B); err != nil {
+			return fmt.Errorf("cholesky: potrf(%d): %w", k, err)
+		}
+		for i := k + 1; i < p.Nb; i++ {
+			kern.TrsmRightLowerTrans(tiles[k][k], tiles[i][k], p.B)
+		}
+		for i := k + 1; i < p.Nb; i++ {
+			kern.SyrkSub(tiles[i][i], tiles[i][k], p.B)
+			for j := k + 1; j < i; j++ {
+				kern.GemmSubTransB(tiles[i][j], tiles[i][k], tiles[j][k], p.B)
+			}
+		}
+	}
+	return nil
+}
+
 // BuildRT implements workload.Workload.
 func (W) BuildRT(r *rt.Runtime, s workload.Scale) workload.Verifier {
 	p := ParamsFor(s)

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"appfit/internal/bench/cholesky"
 	"appfit/internal/buffer"
 	"appfit/internal/deps"
 	"appfit/internal/dist"
@@ -439,6 +440,121 @@ func BenchmarkAllgatherFlatVsHier(b *testing.B) {
 						b.Fatalf("allgather block = %v, want %d", got, ranks)
 					}
 					vus = sim.Now().Seconds() * 1e6
+				}
+				b.ReportMetric(vus, "vus/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAllreduceTreeVsRab is the acceptance benchmark of the vector-
+// collectives PR: the same large-vector allreduce (16384 floats = 128 KiB,
+// past dist.RabenseifnerCrossoverBytes) priced on the placed fabric at
+// 64/128/256 ranks, once through the recursive-doubling tree and once
+// through Rabenseifner's reduce-scatter + allgather. The decisive metric is
+// vus/op, the Sim transport's deterministic link-occupancy makespan:
+// Rabenseifner must keep it below the tree's at every rank count, because
+// its nearest-partner-first rounds move the O(V)-sized pieces over
+// intra-node links and only O(V/p)-sized segments across node cables, where
+// the tree funnels whole vectors through them (recorded in
+// BENCH_scale.json; the same comparison gates `make check-kernels`).
+func BenchmarkAllreduceTreeVsRab(b *testing.B) {
+	const perNode = 16
+	const vecLen = 16384
+	algos := []struct {
+		name string
+		run  func(c *dist.Comm, bufs []buffer.F64)
+	}{
+		{"tree", func(c *dist.Comm, bufs []buffer.F64) { c.AllreduceTree(0, "v", bufs, dist.OpSum) }},
+		{"rab", func(c *dist.Comm, bufs []buffer.F64) { c.AllreduceRabenseifner(0, "v", bufs, dist.OpSum) }},
+	}
+	for _, algo := range algos {
+		for _, ranks := range []int{64, 128, 256} {
+			algo, ranks := algo, ranks
+			b.Run(fmt.Sprintf("%s/ranks=%d", algo.name, ranks), func(b *testing.B) {
+				topo, err := simnet.MarenostrumTopology(ranks, perNode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				var vus float64
+				for i := 0; i < b.N; i++ {
+					sim := dist.NewSimTopology(topo)
+					w := dist.NewWorld(dist.Config{Ranks: ranks, Transport: sim})
+					bufs := make([]buffer.F64, ranks)
+					for r := range bufs {
+						bufs[r] = buffer.NewF64(vecLen)
+						bufs[r][0] = 1
+					}
+					algo.run(w.Comm(), bufs)
+					if err := w.Shutdown(); err != nil {
+						b.Fatal(err)
+					}
+					if bufs[0][0] != float64(ranks) {
+						b.Fatalf("allreduce sum = %v, want %d", bufs[0][0], ranks)
+					}
+					vus = sim.Now().Seconds() * 1e6
+				}
+				b.ReportMetric(vus, "vus/op")
+			})
+		}
+	}
+}
+
+// BenchmarkCholeskyFlatVsHier prices the first distributed task-graph
+// kernel: the 2D block-cyclic cholesky whose row/column broadcasts run flat
+// when the World is placement-blind and hierarchical when it knows the
+// topology. The grid keeps Pc = 8 columns at every rank count, so a column
+// communicator's members stride 8 ranks and land two per 16-rank node — the
+// shape where the hierarchical broadcast has something to exploit (a
+// near-square 16×16 grid at 256 ranks strides columns exactly one member
+// per node, and both variants collapse to the same flat routing). One op is
+// a whole World lifetime — build, factorize, drain. vus/op is the
+// deterministic placed-fabric makespan the hierarchical variant must keep
+// below the flat one; the last factorization of each run is verified
+// bitwise against the serial reference.
+func BenchmarkCholeskyFlatVsHier(b *testing.B) {
+	const perNode = 16
+	grids := map[int]cholesky.DistConfig{
+		64:  {Nb: 16, B: 16, Pr: 8, Pc: 8},
+		128: {Nb: 16, B: 16, Pr: 16, Pc: 8},
+		256: {Nb: 32, B: 16, Pr: 32, Pc: 8},
+	}
+	for _, hier := range []bool{false, true} {
+		for _, ranks := range []int{64, 128, 256} {
+			hier, ranks := hier, ranks
+			name := "flat"
+			if hier {
+				name = "hier"
+			}
+			b.Run(fmt.Sprintf("%s/ranks=%d", name, ranks), func(b *testing.B) {
+				topo, err := simnet.MarenostrumTopology(ranks, perNode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				var vus float64
+				var last *cholesky.Dist
+				for i := 0; i < b.N; i++ {
+					sim := dist.NewSimTopology(topo)
+					cfg := dist.Config{Ranks: ranks, Transport: sim}
+					if hier {
+						cfg.Topology = topo
+					}
+					w := dist.NewWorld(cfg)
+					d, err := cholesky.BuildDist(w.Comm(), grids[ranks])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Shutdown(); err != nil {
+						b.Fatal(err)
+					}
+					vus = sim.Now().Seconds() * 1e6
+					last = d
+				}
+				b.StopTimer()
+				if err := last.Verify(); err != nil {
+					b.Fatal(err)
 				}
 				b.ReportMetric(vus, "vus/op")
 			})

@@ -1,0 +1,81 @@
+// Pool recycles fixed-length staging buffers. The dist collectives allocate
+// short-lived chunk staging on their hot paths — the traveling partial and
+// per-step receive buffers of the reduce-scatter and allgather phases — and
+// those buffers come in a handful of exact lengths per collective, die when
+// the World drains, and are always fully overwritten before their first
+// read. A Pool exploits all three properties: buffers are binned by exact
+// element count, returned in bulk at World shutdown, and handed back dirty
+// (no zeroing pass), so a benchmark loop that builds a World per iteration
+// stops paying one allocation per ring step after its first iteration.
+package buffer
+
+import "sync"
+
+// poolBinCap bounds each exact-length bin. A collective needs at most a few
+// staging buffers per member per step, and bins beyond the cap simply fall
+// back to the allocator, so a one-off giant World cannot pin its staging
+// footprint forever.
+const poolBinCap = 1024
+
+// Pool is a mutex-guarded free list of F64 buffers binned by exact length.
+// The zero value is not ready; use NewPool. All methods are safe for
+// concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free map[int][]F64
+
+	gets uint64
+	hits uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[int][]F64)}
+}
+
+// GetF64 returns an n-element F64 buffer with UNDEFINED contents: a recycled
+// buffer keeps whatever its previous life wrote. Callers must fully
+// overwrite it before the first read — the contract every staging buffer in
+// the collectives satisfies (each is filled by a receive copy or an init
+// copy before any fold reads it).
+func (p *Pool) GetF64(n int) F64 {
+	p.mu.Lock()
+	p.gets++
+	bin := p.free[n]
+	if len(bin) > 0 {
+		b := bin[len(bin)-1]
+		bin[len(bin)-1] = nil
+		p.free[n] = bin[:len(bin)-1]
+		p.hits++
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	return make(F64, n)
+}
+
+// PutF64 returns buffers to their exact-length bins. Nil buffers are
+// skipped; zero-length buffers are accepted (GetF64(0) recycles them like
+// any other length). A full bin drops the buffer for the allocator to
+// reclaim. The caller must not retain references: the next GetF64 of the
+// same length may hand the buffer to an unrelated owner.
+func (p *Pool) PutF64(bufs ...F64) {
+	p.mu.Lock()
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		if bin := p.free[len(b)]; len(bin) < poolBinCap {
+			p.free[len(b)] = append(bin, b)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns the cumulative GetF64 count and how many were served from a
+// bin rather than the allocator.
+func (p *Pool) Stats() (gets, hits uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.hits
+}

@@ -1,0 +1,75 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolRecyclesExactLength(t *testing.T) {
+	p := NewPool()
+	a := p.GetF64(16)
+	if len(a) != 16 {
+		t.Fatalf("GetF64(16) length = %d", len(a))
+	}
+	a[0] = 42
+	p.PutF64(a)
+
+	b := p.GetF64(16)
+	if gets, hits := p.Stats(); gets != 2 || hits != 1 {
+		t.Fatalf("stats after recycle = (%d, %d), want (2, 1)", gets, hits)
+	}
+	if &b[0] != &a[0] {
+		t.Fatal("second GetF64(16) did not reuse the returned buffer")
+	}
+	// Contents are undefined on reuse — the pool must NOT zero.
+	if b[0] != 42 {
+		t.Fatalf("recycled buffer was scrubbed: b[0] = %v", b[0])
+	}
+
+	// A different length misses the bin.
+	c := p.GetF64(17)
+	if len(c) != 17 {
+		t.Fatalf("GetF64(17) length = %d", len(c))
+	}
+	if gets, hits := p.Stats(); gets != 3 || hits != 1 {
+		t.Fatalf("stats after miss = (%d, %d), want (3, 1)", gets, hits)
+	}
+}
+
+func TestPoolIgnoresNilAndCapsBins(t *testing.T) {
+	p := NewPool()
+	p.PutF64(nil, nil)
+	if got := p.GetF64(0); len(got) != 0 {
+		t.Fatalf("GetF64(0) length = %d", len(got))
+	}
+	if _, hits := p.Stats(); hits != 0 {
+		t.Fatal("nil puts must not populate a bin")
+	}
+
+	for i := 0; i < poolBinCap+10; i++ {
+		p.PutF64(make(F64, 4))
+	}
+	if n := len(p.free[4]); n != poolBinCap {
+		t.Fatalf("bin size = %d, want capped at %d", n, poolBinCap)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := p.GetF64(8 + g%3)
+				b[0] = float64(i)
+				p.PutF64(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if gets, _ := p.Stats(); gets != 8*200 {
+		t.Fatalf("gets = %d, want %d", gets, 8*200)
+	}
+}

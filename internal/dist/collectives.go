@@ -256,37 +256,80 @@ var (
 	}
 )
 
-// TreeAllreduceCrossover is the vector length (float64 elements) at which
-// Allreduce switches from the gather+broadcast algorithm to the
-// recursive-doubling tree. Below it, the 2(n−1) small messages of the
-// gather win; at and above it, moving ⌈log2 n⌉ full vectors per member in
-// parallel beats funnelling n−1 of them through member 0
-// (BenchmarkAllreduceTreeVsGather in internal/bench/scale records the
-// trade-off).
-const TreeAllreduceCrossover = 512
+// Allreduce algorithm-selection crossovers, in per-member payload BYTES —
+// not element counts, so the selection stays right whatever the element
+// width and, crucially, when the hierarchical leader phase re-dispatches on
+// non-uniform leader vectors: the leaders' Allreduce sees the same
+// byte-based rule the flat path does.
+const (
+	// TreeAllreduceCrossoverBytes is where Allreduce leaves the
+	// gather+broadcast algorithm for the recursive-doubling tree. Below it,
+	// the 2(n−1) small messages of the gather win; at and above it, moving
+	// ⌈log2 n⌉ full vectors per member in parallel beats funnelling n−1 of
+	// them through member 0 (BenchmarkAllreduceTreeVsGather in
+	// internal/bench/scale records the trade-off).
+	TreeAllreduceCrossoverBytes = 4096
+	// RabenseifnerCrossoverBytes is where the tree yields to Rabenseifner's
+	// reduce-scatter + allgather: past it the tree's V·log2(p) bytes per
+	// member dwarf Rabenseifner's ~2·V, and the doubled message count stops
+	// mattering (BenchmarkAllreduceRabVsTree records the trade-off at
+	// 64–256 ranks).
+	RabenseifnerCrossoverBytes = 64 << 10
+)
+
+// TreeAllreduceCrossover is TreeAllreduceCrossoverBytes in float64 elements.
+//
+// Deprecated: selection is byte-based; compare payload bytes against
+// TreeAllreduceCrossoverBytes instead.
+const TreeAllreduceCrossover = TreeAllreduceCrossoverBytes / 8
+
+// allreducePayloadBytes is the per-member payload the auto-selection
+// compares against the crossovers: the smallest member buffer, so a ragged
+// argument slice can never over-select an algorithm some member's vector is
+// too short for.
+func allreducePayloadBytes(bufs []buffer.F64) int64 {
+	min := bufs[0].SizeBytes()
+	for _, b := range bufs[1:] {
+		if s := b.SizeBytes(); s < min {
+			min = s
+		}
+	}
+	return min
+}
 
 // Allreduce leaves op's reduction of every member's float64 buffer for
 // region name in all of them. On a communicator whose topology is non-flat
 // (see Hierarchical) it runs the hierarchical algorithm (AllreduceHier):
 // node-local fold → leader exchange → node-local fan-out, so full vectors
-// cross the wire once per node instead of once per member. Otherwise it
-// selects the flat algorithm by vector length: vectors shorter than
-// TreeAllreduceCrossover use AllreduceGather, longer ones AllreduceTree.
-// Both the hierarchical fold (which groups and reorders operands by node)
-// and the tree require a commutative op, so auto-selection dispatches to
-// them only for the builtin OpSum/OpMin/OpMax; a custom op — whose
-// commutativity the runtime cannot see — always takes the gather path,
-// which folds in strict comm-rank order and is valid for any deterministic
-// op, placed or not. Call AllreduceHier or AllreduceTree explicitly for a
-// custom op you know is commutative.
+// cross the wire once per node instead of once per member — and the leader
+// exchange re-enters this selection, so large leader vectors take the
+// Rabenseifner path automatically. Otherwise it selects the flat algorithm
+// by per-member payload bytes: below TreeAllreduceCrossoverBytes the
+// gather+broadcast (AllreduceGather), from there to
+// RabenseifnerCrossoverBytes the recursive-doubling tree (AllreduceTree),
+// and past that Rabenseifner's bandwidth-optimal reduce-scatter + allgather
+// (AllreduceRabenseifner). The hierarchical fold (which groups and reorders
+// operands by node), the tree and Rabenseifner all require a commutative
+// op, so auto-selection dispatches to them only for the builtin
+// OpSum/OpMin/OpMax; a custom op — whose commutativity the runtime cannot
+// see — always takes the gather path, which folds in strict comm-rank order
+// and is valid for any deterministic op, placed or not. Call AllreduceHier,
+// AllreduceTree or AllreduceRabenseifner explicitly for a custom op you
+// know is commutative.
 func (c *Comm) Allreduce(tag int, name string, bufs []buffer.F64, op ReduceOp) {
 	if c.hier && builtinCommutative(op) {
 		c.AllreduceHier(tag, name, bufs, op)
 		return
 	}
-	if len(bufs) > 0 && len(bufs[0]) >= TreeAllreduceCrossover && c.Size() > 2 && builtinCommutative(op) {
-		c.AllreduceTree(tag, name, bufs, op)
-		return
+	if len(bufs) > 0 && c.Size() > 2 && builtinCommutative(op) {
+		switch bytes := allreducePayloadBytes(bufs); {
+		case bytes >= RabenseifnerCrossoverBytes:
+			c.AllreduceRabenseifner(tag, name, bufs, op)
+			return
+		case bytes >= TreeAllreduceCrossoverBytes:
+			c.AllreduceTree(tag, name, bufs, op)
+			return
+		}
 	}
 	c.AllreduceGather(tag, name, bufs, op)
 }
@@ -342,7 +385,7 @@ func (c *Comm) reduceAtZero(tag int, name string, bufs []buffer.F64, op ReduceOp
 		c.members[i].commSend(fmt.Sprintf("reduce:%s>0", name),
 			Match{Ctx: c.ctx, Src: c.worldID(i), Dst: root.id, Class: ClassReduce, Tag: tag},
 			0, rt.In(name, bufs[i]), c.tokArg(i))
-		tmp := buffer.NewF64(len(bufs[0]))
+		tmp := c.w.stageF64(len(bufs[0]))
 		tmpKey := fmt.Sprintf("%s:ar:%d:%d:%d", collKey, c.ctx, tag, i)
 		root.commRecv(fmt.Sprintf("reduce:%s<%d", name, i),
 			Match{Ctx: c.ctx, Src: c.worldID(i), Dst: root.id, Class: ClassReduce, Tag: tag},
@@ -397,7 +440,7 @@ func (c *Comm) AllreduceTree(tag int, name string, bufs []buffer.F64, op ReduceO
 		m := Match{Ctx: c.ctx, Src: c.worldID(e), Dst: c.worldID(j), Class: ClassTree, Tag: tag, Sub: subTreePre}
 		c.members[e].commSend(fmt.Sprintf("treepre:%s>%d", name, j), m,
 			0, rt.In(name, bufs[e]), c.tokArg(e))
-		tmp := buffer.NewF64(len(bufs[j]))
+		tmp := c.w.stageF64(len(bufs[j]))
 		tk := key("pre", j)
 		c.members[j].commRecv(fmt.Sprintf("treepre:%s<%d", name, e), m,
 			0, rt.Out(tk, tmp), c.tokArg(j))
@@ -410,7 +453,7 @@ func (c *Comm) AllreduceTree(tag int, name string, bufs []buffer.F64, op ReduceO
 			c.members[i].commSend(fmt.Sprintf("tree:%s>%d/%d", name, partner, k),
 				Match{Ctx: c.ctx, Src: c.worldID(i), Dst: c.worldID(partner), Class: ClassTree, Tag: tag, Sub: k},
 				0, rt.In(name, bufs[i]), c.tokArg(i))
-			tmp := buffer.NewF64(len(bufs[i]))
+			tmp := c.w.stageF64(len(bufs[i]))
 			tk := key("rnd", k)
 			c.members[i].commRecv(fmt.Sprintf("tree:%s<%d/%d", name, partner, k),
 				Match{Ctx: c.ctx, Src: c.worldID(partner), Dst: c.worldID(i), Class: ClassTree, Tag: tag, Sub: k},
@@ -462,7 +505,7 @@ func (c *Comm) ReduceScatter(tag int, in, out string, bufs, outs []buffer.F64, o
 	}
 	for i := 0; i < n; i++ {
 		r := c.members[i]
-		acc := buffer.NewF64(L)
+		acc := c.w.stageF64(L)
 		aKey := fmt.Sprintf("%s:rs:%d:%d:acc", collKey, c.ctx, tag)
 		b0 := (i - 1 + n) % n
 		r.rt.Submit("rsinit", func(ctx *rt.Ctx) {
@@ -473,7 +516,7 @@ func (c *Comm) ReduceScatter(tag int, in, out string, bufs, outs []buffer.F64, o
 			r.commSend(fmt.Sprintf("rs:%s>%d/%d", in, right, s),
 				Match{Ctx: c.ctx, Src: r.id, Dst: c.worldID(right), Class: ClassRedScat, Tag: tag, Sub: s},
 				0, rt.In(aKey, acc), c.tokArg(i))
-			tmp := buffer.NewF64(L)
+			tmp := c.w.stageF64(L)
 			tKey := fmt.Sprintf("%s:rs:%d:%d:t%d", collKey, c.ctx, tag, s)
 			r.commRecv(fmt.Sprintf("rs:%s<%d/%d", in, left, s),
 				Match{Ctx: c.ctx, Src: c.worldID(left), Dst: r.id, Class: ClassRedScat, Tag: tag, Sub: s},

@@ -62,6 +62,14 @@ type Config struct {
 	Topology *simnet.Topology
 }
 
+// stagePool recycles collective staging buffers (traveling partials,
+// per-step receive scratch) across Worlds: a benchmark loop that builds a
+// World per iteration reuses the previous iteration's staging instead of
+// reallocating every ring step. Safe because staging buffers are internal to
+// the collectives, fully overwritten before their first read, and only
+// returned after the owning World has drained.
+var stagePool = buffer.NewPool()
+
 // World is a set of communicating ranks. Create with NewWorld, communicate
 // through Comm (the world communicator, or sub-communicators derived with
 // Comm.Split), and finish with Shutdown, which drains every rank's dataflow
@@ -78,6 +86,11 @@ type World struct {
 
 	errMu sync.Mutex
 	errs  []error
+
+	// staged tracks every pool buffer handed out by stageF64, so Shutdown can
+	// return the lot to stagePool once the graphs have drained.
+	stageMu sync.Mutex
+	staged  []buffer.F64
 
 	shutOnce sync.Once
 	shutErr  error
@@ -208,6 +221,10 @@ func (w *World) Shutdown() error {
 		wg.Wait()
 		close(stop)
 		w.tr.Close()
+		w.stageMu.Lock()
+		stagePool.PutF64(w.staged...)
+		w.staged = nil
+		w.stageMu.Unlock()
 		w.errMu.Lock()
 		all := append(w.errs, rankErrs...)
 		w.errMu.Unlock()
@@ -282,6 +299,19 @@ func (w *World) Err() error {
 	w.errMu.Lock()
 	defer w.errMu.Unlock()
 	return errors.Join(w.errs...)
+}
+
+// stageF64 leases an n-element staging buffer from stagePool for the
+// lifetime of the World; Shutdown returns every lease after the graphs
+// drain. Contents are UNDEFINED — callers must fully overwrite before the
+// first read, which every collective staging site does (receive CopyFrom or
+// an init copy gates every fold that reads it).
+func (w *World) stageF64(n int) buffer.F64 {
+	b := stagePool.GetF64(n)
+	w.stageMu.Lock()
+	w.staged = append(w.staged, b)
+	w.stageMu.Unlock()
+	return b
 }
 
 func (w *World) addErr(err error) {

@@ -37,6 +37,13 @@ const (
 	ClassRedScat
 	// ClassTree is recursive-doubling tree-allreduce traffic.
 	ClassTree
+	// ClassGatherv is non-uniform allgather (Allgatherv) traffic.
+	ClassGatherv
+	// ClassRedScatv is non-uniform reduce-scatter (ReduceScatterv) traffic.
+	ClassRedScatv
+	// ClassRab is Rabenseifner allreduce (recursive halving + doubling)
+	// traffic.
+	ClassRab
 )
 
 // Match identifies one mailbox: a communicator context, a directed
