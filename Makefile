@@ -3,9 +3,25 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement check-sweep check-serve check-kernels
+.PHONY: check vet build test race race-comm bench bench-figures bench-scale bench-build bench-compare build-examples run-examples check-topology check-placement check-sweep check-serve check-kernels check-lint fuzz-smoke
 
-check: vet race race-comm build-examples check-topology check-placement check-sweep check-serve check-kernels bench-build
+check: vet check-lint race race-comm build-examples check-topology check-placement check-sweep check-serve check-kernels bench-build
+
+# Lint gate: appfitlint (cmd/appfitlint, DESIGN.md §14) must pass clean over
+# the module — range-over-map emission order, wall-clock/math-rand use in
+# deterministic packages, `// guarded by <mu>` field access, and %w sentinel
+# wrapping at internal package boundaries — and the script then seeds each
+# analyzer's own testdata back through the driver and requires a failure, so
+# an analyzer that silently stopped firing cannot keep the gate green.
+check-lint:
+	sh scripts/check_lint.sh
+
+# Fuzz smoke: a short native-fuzz pass over the sweep key encoder's
+# canonicality invariants (stability, spelling collapse, sensitivity).
+# 10 seconds is a smoke budget — run with a longer -fuzztime for real
+# exploration; failures minimize into internal/sweep/testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzSweepKeyCanonical -fuzztime 10s ./internal/sweep
 
 # Topology gate: cmd/experiments must keep compiling against the Topology
 # API and its flat-vs-hierarchical table must keep producing (the

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -81,7 +82,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
 		}
-		os.Exit(compareBaselines(flag.Arg(0), flag.Arg(1), gates, parseInfo(*infoFlag)))
+		os.Exit(compareBaselines(os.Stdout, flag.Arg(0), flag.Arg(1), gates, parseInfo(*infoFlag)))
 	}
 
 	base := Baseline{Suite: *suite}
@@ -195,7 +196,7 @@ func parseInfo(spec string) map[string]bool {
 // rotate; only a measured regression of a still-recorded metric should
 // gate. Units in info are printed alongside when both sides record them,
 // purely for the reader; they never affect the exit code.
-func compareBaselines(oldPath, newPath string, gates map[string]gate, info map[string]bool) int {
+func compareBaselines(out io.Writer, oldPath, newPath string, gates map[string]gate, info map[string]bool) int {
 	load := func(path string) (map[string]map[string]float64, bool) {
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -236,7 +237,7 @@ func compareBaselines(oldPath, newPath string, gates map[string]gate, info map[s
 		om := oldB[name]
 		nm, ok := newB[name]
 		if !ok {
-			fmt.Printf("MISSING  %-60s (in %s only)\n", name, oldPath)
+			fmt.Fprintf(out, "MISSING  %-60s (in %s only)\n", name, oldPath)
 			continue
 		}
 		for _, unit := range units {
@@ -252,7 +253,7 @@ func compareBaselines(oldPath, newPath string, gates map[string]gate, info map[s
 					if okO {
 						side = oldPath
 					}
-					fmt.Printf("MISSING  %-60s %s (in %s only)\n", name, unit, side)
+					fmt.Fprintf(out, "MISSING  %-60s %s (in %s only)\n", name, unit, side)
 				}
 				continue
 			}
@@ -274,10 +275,10 @@ func compareBaselines(oldPath, newPath string, gates map[string]gate, info map[s
 			}
 			if bad {
 				regressed++
-				fmt.Printf("REGRESS  %-60s %12.1f -> %12.1f %s (%s)\n",
+				fmt.Fprintf(out, "REGRESS  %-60s %12.1f -> %12.1f %s (%s)\n",
 					name, ov, nv, unit, limit)
 			} else {
-				fmt.Printf("ok       %-60s %12.1f -> %12.1f %s (%+.1f%%)\n", name, ov, nv, unit, pct)
+				fmt.Fprintf(out, "ok       %-60s %12.1f -> %12.1f %s (%+.1f%%)\n", name, ov, nv, unit, pct)
 			}
 		}
 		infoUnits := make([]string, 0, len(info))
@@ -289,20 +290,25 @@ func compareBaselines(oldPath, newPath string, gates map[string]gate, info map[s
 			ov, okO := om[unit]
 			nv, okN := nm[unit]
 			if okO && okN {
-				fmt.Printf("info     %-60s %12.1f -> %12.1f %s (not gated)\n", name, ov, nv, unit)
+				fmt.Fprintf(out, "info     %-60s %12.1f -> %12.1f %s (not gated)\n", name, ov, nv, unit)
 			}
 		}
 	}
+	added := make([]string, 0, len(newB))
 	for name := range newB {
 		if _, ok := oldB[name]; !ok {
-			fmt.Printf("NEW      %-60s\n", name)
+			added = append(added, name)
 		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(out, "NEW      %-60s\n", name)
 	}
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond their unit thresholds\n", regressed)
 		return 1
 	}
-	fmt.Printf("benchjson: no regression across %d gated metric(s) of %d benchmark(s)\n", compared, len(names))
+	fmt.Fprintf(out, "benchjson: no regression across %d gated metric(s) of %d benchmark(s)\n", compared, len(names))
 	return 0
 }
 

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -83,7 +85,7 @@ func TestCompareGatesEveryUnit(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			newPath := writeBaseline(t, dir, tc.name+".json", tc.new)
-			if got := compareBaselines(oldPath, newPath, gates, nil); got != tc.want {
+			if got := compareBaselines(io.Discard, oldPath, newPath, gates, nil); got != tc.want {
 				t.Fatalf("compare exit = %d, want %d", got, tc.want)
 			}
 		})
@@ -104,13 +106,13 @@ func TestInfoUnitsNeverGate(t *testing.T) {
 	collapsed := writeBaseline(t, dir, "info_collapsed.json", []Benchmark{
 		{Name: "Sweep/warm-8", Metrics: map[string]float64{"ns/op": 1000, "hit%": 0}},
 	})
-	if got := compareBaselines(oldPath, collapsed, gates, info); got != 0 {
+	if got := compareBaselines(io.Discard, oldPath, collapsed, gates, info); got != 0 {
 		t.Fatalf("hit%% collapse gated the compare: exit %d", got)
 	}
 	both := writeBaseline(t, dir, "info_both.json", []Benchmark{
 		{Name: "Sweep/warm-8", Metrics: map[string]float64{"ns/op": 5000, "hit%": 0}},
 	})
-	if got := compareBaselines(oldPath, both, gates, info); got != 1 {
+	if got := compareBaselines(io.Discard, oldPath, both, gates, info); got != 1 {
 		t.Fatalf("ns/op regression must still gate: exit %d", got)
 	}
 }
@@ -171,7 +173,7 @@ func TestCompareServiceUnits(t *testing.T) {
 			newPath := writeBaseline(t, dir, tc.name+".json", []Benchmark{
 				{Name: "Serve/tenants=2-8", Iterations: 100, Metrics: tc.new},
 			})
-			if got := compareBaselines(oldPath, newPath, gates, nil); got != tc.want {
+			if got := compareBaselines(io.Discard, oldPath, newPath, gates, nil); got != tc.want {
 				t.Fatalf("compare exit = %d, want %d", got, tc.want)
 			}
 		})
@@ -188,5 +190,68 @@ func TestParseLine(t *testing.T) {
 	}
 	if b.Metrics["vus/op"] != 8.055 || b.Metrics["ns/op"] != 11839086 {
 		t.Fatalf("metrics %v", b.Metrics)
+	}
+}
+
+// TestCompareOutputDeterministic locks the -compare report's ordering: the
+// diff walks Go maps (name → metrics, unit → gate), so without the sort
+// passes the report would shuffle between runs — and a baseline diff that
+// moves lines on every CI run is undiffable. Two baselines whose benchmark
+// lists are permutations of each other must render byte-identical reports
+// across repeated runs, with benchmark names, gated units, info units and
+// NEW entries each in sorted order.
+func TestCompareOutputDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	gates := map[string]gate{"ns/op": {pct: 25}, "vus/op": {pct: 1}, "p99/op": {pct: 25}}
+	info := map[string]bool{"hit%": true, "miss%": true}
+	mk := func(name string) Benchmark {
+		return Benchmark{Name: name, Iterations: 100, Metrics: map[string]float64{
+			"ns/op": 1000, "vus/op": 8, "p99/op": 500, "hit%": 90, "miss%": 10,
+		}}
+	}
+	benches := []Benchmark{mk("Zeta/r=4-8"), mk("Alpha/r=2-8"), mk("Mid/r=1-8")}
+	oldPath := writeBaseline(t, dir, "old.json", benches)
+	// The new side lists the shared benchmarks in reverse and adds two NEW
+	// ones, also out of order.
+	reversed := []Benchmark{mk("Mid/r=1-8"), mk("Alpha/r=2-8"), mk("Zeta/r=4-8"),
+		mk("New/b-8"), mk("New/a-8")}
+	newPath := writeBaseline(t, dir, "new.json", reversed)
+
+	render := func() string {
+		var buf strings.Builder
+		if got := compareBaselines(&buf, oldPath, newPath, gates, info); got != 0 {
+			t.Fatalf("compare exit = %d, want 0", got)
+		}
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if again := render(); again != first {
+			t.Fatalf("run %d rendered a different report:\n--- first\n%s--- again\n%s", i, first, again)
+		}
+	}
+	// Ordering spot-checks: names sorted within the report, NEW block
+	// sorted at the end.
+	idx := func(sub string) int {
+		i := strings.Index(first, sub)
+		if i < 0 {
+			t.Fatalf("report missing %q:\n%s", sub, first)
+		}
+		return i
+	}
+	if !(idx("Alpha/r=2-8") < idx("Mid/r=1-8") && idx("Mid/r=1-8") < idx("Zeta/r=4-8")) {
+		t.Fatalf("benchmark names not sorted:\n%s", first)
+	}
+	if !(idx("NEW      New/a-8") < idx("NEW      New/b-8")) {
+		t.Fatalf("NEW entries not sorted:\n%s", first)
+	}
+	// Within one benchmark, gated units sorted (ns/op, p99/op, vus/op) and
+	// info units after them (hit%, miss%).
+	alpha := first[idx("Alpha"):idx("Mid")]
+	if !(strings.Index(alpha, "ns/op") < strings.Index(alpha, "p99/op") &&
+		strings.Index(alpha, "p99/op") < strings.Index(alpha, "vus/op") &&
+		strings.Index(alpha, "vus/op") < strings.Index(alpha, "hit%") &&
+		strings.Index(alpha, "hit%") < strings.Index(alpha, "miss%")) {
+		t.Fatalf("units not sorted within a benchmark:\n%s", alpha)
 	}
 }

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 
 	"appfit/internal/bench/cholesky"
@@ -57,6 +58,10 @@ func DistributedSet() []workload.Workload {
 	return out
 }
 
+// ErrUnknownBench is the sentinel wrapped by ByName for names that match
+// no benchmark, so drivers can distinguish a typo from a failed run.
+var ErrUnknownBench = errors.New("bench: unknown benchmark")
+
 // ByName returns the named benchmark or an error listing valid names.
 func ByName(name string) (workload.Workload, error) {
 	for _, w := range All() {
@@ -68,5 +73,5 @@ func ByName(name string) (workload.Workload, error) {
 	for _, w := range All() {
 		names = append(names, w.Name())
 	}
-	return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, names)
+	return nil, fmt.Errorf("bench: unknown benchmark %q (have %v): %w", name, names, ErrUnknownBench)
 }

@@ -224,6 +224,10 @@ func (d *Dist) Owner(i, j int) int { return (i%d.Pr)*d.Pc + (j % d.Pc) }
 // only after the World has shut down.
 func (d *Dist) Tile(i, j int) buffer.F64 { return d.owned[i][j] }
 
+// ErrVerify is the sentinel wrapped when the distributed factorization
+// does not match the serial reference bitwise.
+var ErrVerify = errors.New("cholesky: verification failed")
+
 // Verify re-derives the serial reference (SPD + FactorSerial) and compares
 // every working tile bitwise. Call after the World has shut down.
 func (d *Dist) Verify() error {
@@ -234,7 +238,7 @@ func (d *Dist) Verify() error {
 	for i := 0; i < d.p.Nb; i++ {
 		for j := 0; j <= i; j++ {
 			if !d.owned[i][j].EqualTo(ref[i][j]) {
-				return fmt.Errorf("cholesky: distributed tile (%d,%d) diverges from the serial factorization", i, j)
+				return fmt.Errorf("cholesky: distributed tile (%d,%d) diverges from the serial factorization: %w", i, j, ErrVerify)
 			}
 		}
 	}

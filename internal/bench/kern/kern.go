@@ -9,6 +9,7 @@ package kern
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/bits"
 )
@@ -63,6 +64,11 @@ func GemmSubTransB(c, a, b []float64, n int) {
 	}
 }
 
+// ErrNumeric is the sentinel wrapped by every numerical breakdown a
+// kernel detects (non-SPD matrix, zero pivot), so drivers can errors.Is a
+// kernel failure without matching message text.
+var ErrNumeric = errors.New("kern: numerical breakdown")
+
 // Potrf factors the n×n symmetric positive-definite block A in place into
 // its lower Cholesky factor L (upper triangle zeroed). It returns an error
 // if A is not positive definite.
@@ -73,7 +79,7 @@ func Potrf(a []float64, n int) error {
 			d -= a[j*n+k] * a[j*n+k]
 		}
 		if d <= 0 {
-			return errors.New("kern: matrix not positive definite")
+			return fmt.Errorf("kern: matrix not positive definite: %w", ErrNumeric)
 		}
 		d = math.Sqrt(d)
 		a[j*n+j] = d
@@ -121,7 +127,7 @@ func Lu0(a []float64, n int) error {
 	for k := 0; k < n; k++ {
 		p := a[k*n+k]
 		if p == 0 {
-			return errors.New("kern: zero pivot in LU")
+			return fmt.Errorf("kern: zero pivot in LU: %w", ErrNumeric)
 		}
 		for i := k + 1; i < n; i++ {
 			a[i*n+k] /= p

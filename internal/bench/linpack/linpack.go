@@ -8,6 +8,7 @@
 package linpack
 
 import (
+	"errors"
 	"fmt"
 
 	"appfit/internal/bench/kern"
@@ -131,6 +132,10 @@ func (W) BuildRT(r *rt.Runtime, s workload.Scale) workload.Verifier {
 	}
 }
 
+// ErrResidual is the sentinel wrapped when the scaled residual exceeds
+// the acceptance threshold.
+var ErrResidual = errors.New("linpack: residual too large")
+
 // VerifyResidual performs the HPL check: with b = A·1s, solve L·U·x = b
 // using the computed factors and require the scaled residual
 // ||A·x − b||∞ / (||A||_F · n) to be tiny.
@@ -199,7 +204,7 @@ func VerifyResidual(blocks, orig [][]buffer.F64, p Params) error {
 	normA := kern.FrobNorm(a)
 	scaled := maxRes / (normA * float64(n))
 	if scaled > 1e-12 {
-		return fmt.Errorf("linpack: scaled residual %g too large", scaled)
+		return fmt.Errorf("linpack: scaled residual %g too large: %w", scaled, ErrResidual)
 	}
 	return nil
 }

@@ -111,6 +111,10 @@ func (h *Halo) Reference() []float64 {
 	return loc
 }
 
+// ErrDiverged is the sentinel wrapped by every Verify failure: the
+// distributed run no longer matches the serial reference bitwise.
+var ErrDiverged = errors.New("workload: diverged from serial reference")
+
 // Verify compares every element of every final local block against the
 // serial reference bitwise. Call after the World has shut down.
 func (h *Halo) Verify() error {
@@ -118,8 +122,8 @@ func (h *Halo) Verify() error {
 	for rk := 0; rk < h.size; rk++ {
 		for i, v := range h.Local[rk] {
 			if v != want[rk] {
-				return fmt.Errorf("workload: halo member %d element %d = %v, want %v (diverged from serial)",
-					rk, i, v, want[rk])
+				return fmt.Errorf("workload: halo member %d element %d = %v, want %v: %w",
+					rk, i, v, want[rk], ErrDiverged)
 			}
 		}
 	}

@@ -16,9 +16,15 @@
 package buffer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrCopy is the sentinel wrapped by every CopyFrom mismatch (wrong
+// concrete type or length), so callers can errors.Is a failed restore
+// without matching message text.
+var ErrCopy = errors.New("buffer: CopyFrom mismatch")
 
 // Buffer is a checkpointable, comparable, corruptible region of task data.
 // All implementations in this package have value semantics on the slice
@@ -80,10 +86,10 @@ func (b F64) Clone() Buffer {
 func (b F64) CopyFrom(src Buffer) error {
 	s, ok := src.(F64)
 	if !ok {
-		return fmt.Errorf("buffer: CopyFrom type mismatch: F64 <- %T", src)
+		return fmt.Errorf("buffer: CopyFrom type mismatch: F64 <- %T: %w", src, ErrCopy)
 	}
 	if len(s) != len(b) {
-		return fmt.Errorf("buffer: CopyFrom length mismatch: %d <- %d", len(b), len(s))
+		return fmt.Errorf("buffer: CopyFrom length mismatch: %d <- %d: %w", len(b), len(s), ErrCopy)
 	}
 	copy(b, s)
 	return nil
@@ -142,10 +148,10 @@ func (b C128) Clone() Buffer {
 func (b C128) CopyFrom(src Buffer) error {
 	s, ok := src.(C128)
 	if !ok {
-		return fmt.Errorf("buffer: CopyFrom type mismatch: C128 <- %T", src)
+		return fmt.Errorf("buffer: CopyFrom type mismatch: C128 <- %T: %w", src, ErrCopy)
 	}
 	if len(s) != len(b) {
-		return fmt.Errorf("buffer: CopyFrom length mismatch: %d <- %d", len(b), len(s))
+		return fmt.Errorf("buffer: CopyFrom length mismatch: %d <- %d: %w", len(b), len(s), ErrCopy)
 	}
 	copy(b, s)
 	return nil
@@ -211,10 +217,10 @@ func (b I64) Clone() Buffer {
 func (b I64) CopyFrom(src Buffer) error {
 	s, ok := src.(I64)
 	if !ok {
-		return fmt.Errorf("buffer: CopyFrom type mismatch: I64 <- %T", src)
+		return fmt.Errorf("buffer: CopyFrom type mismatch: I64 <- %T: %w", src, ErrCopy)
 	}
 	if len(s) != len(b) {
-		return fmt.Errorf("buffer: CopyFrom length mismatch: %d <- %d", len(b), len(s))
+		return fmt.Errorf("buffer: CopyFrom length mismatch: %d <- %d: %w", len(b), len(s), ErrCopy)
 	}
 	copy(b, s)
 	return nil
@@ -272,10 +278,10 @@ func (b U8) Clone() Buffer {
 func (b U8) CopyFrom(src Buffer) error {
 	s, ok := src.(U8)
 	if !ok {
-		return fmt.Errorf("buffer: CopyFrom type mismatch: U8 <- %T", src)
+		return fmt.Errorf("buffer: CopyFrom type mismatch: U8 <- %T: %w", src, ErrCopy)
 	}
 	if len(s) != len(b) {
-		return fmt.Errorf("buffer: CopyFrom length mismatch: %d <- %d", len(b), len(s))
+		return fmt.Errorf("buffer: CopyFrom length mismatch: %d <- %d: %w", len(b), len(s), ErrCopy)
 	}
 	copy(b, s)
 	return nil

@@ -21,11 +21,13 @@ const poolBinCap = 1024
 // The zero value is not ready; use NewPool. All methods are safe for
 // concurrent use.
 type Pool struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// free holds the per-length bins. // guarded by mu
 	free map[int][]F64
 
+	// gets counts GetF64 calls; hits those served from a bin. // guarded by mu
 	gets uint64
-	hits uint64
+	hits uint64 // guarded by mu
 }
 
 // NewPool returns an empty pool.

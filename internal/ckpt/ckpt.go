@@ -11,6 +11,7 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -80,6 +81,11 @@ func setsBytes(sets [][]buffer.Buffer) int64 {
 	return n
 }
 
+// ErrRestore is the sentinel wrapped by every failed Restore — missing
+// checkpoint, shape mismatch, buffer copy failure — so the recovery path
+// can errors.Is a restore problem without matching message text.
+var ErrRestore = errors.New("ckpt: restore failed")
+
 // Restore copies the checkpoint of task id back into dst (which must have
 // the same shape as the saved inputs). With multiple copies, the first copy
 // is used; corrupt-copy arbitration is outside our fault model because the
@@ -89,16 +95,16 @@ func (s *Store) Restore(id uint64, dst []buffer.Buffer) error {
 	sets, ok := s.chks[id]
 	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("ckpt: no checkpoint for task %d", id)
+		return fmt.Errorf("ckpt: no checkpoint for task %d: %w", id, ErrRestore)
 	}
 	src := sets[0]
 	if len(src) != len(dst) {
-		return fmt.Errorf("ckpt: restore shape mismatch for task %d: %d saved, %d given", id, len(src), len(dst))
+		return fmt.Errorf("ckpt: restore shape mismatch for task %d: %d saved, %d given: %w", id, len(src), len(dst), ErrRestore)
 	}
 	for i := range src {
 		if src[i] == nil {
 			if dst[i] != nil {
-				return fmt.Errorf("ckpt: restore arg %d: saved nil, dst non-nil", i)
+				return fmt.Errorf("ckpt: restore arg %d: saved nil, dst non-nil: %w", i, ErrRestore)
 			}
 			continue
 		}

@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 
 	"appfit/internal/fault"
@@ -51,22 +52,30 @@ type Job struct {
 	InputBytes int64
 }
 
+// ErrJob is the sentinel wrapped by every Validate rejection, so callers
+// can errors.Is a malformed DAG without matching message text.
+var ErrJob = errors.New("cluster: invalid job")
+
+// ErrStalled is the sentinel wrapped by Run when the DAG never drains — a
+// dependency cycle or scheduler bug, not a simulated fault.
+var ErrStalled = errors.New("cluster: simulation stalled")
+
 // Validate checks DAG well-formedness: dependencies must point backwards.
 func (j Job) Validate(nodes int) error {
 	for i, t := range j.Tasks {
 		if t.Node < 0 || t.Node >= nodes {
-			return fmt.Errorf("cluster: task %d pinned to node %d of %d", i, t.Node, nodes)
+			return fmt.Errorf("cluster: task %d pinned to node %d of %d: %w", i, t.Node, nodes, ErrJob)
 		}
 		if t.DepBytes != nil && len(t.DepBytes) != len(t.Deps) {
-			return fmt.Errorf("cluster: task %d has %d deps but %d dep-bytes", i, len(t.Deps), len(t.DepBytes))
+			return fmt.Errorf("cluster: task %d has %d deps but %d dep-bytes: %w", i, len(t.Deps), len(t.DepBytes), ErrJob)
 		}
 		for _, d := range t.Deps {
 			if d < 0 || d >= i {
-				return fmt.Errorf("cluster: task %d depends on %d (must be earlier)", i, d)
+				return fmt.Errorf("cluster: task %d depends on %d (must be earlier): %w", i, d, ErrJob)
 			}
 		}
 		if t.Cost < 0 {
-			return fmt.Errorf("cluster: task %d has negative cost", i)
+			return fmt.Errorf("cluster: task %d has negative cost: %w", i, ErrJob)
 		}
 	}
 	return nil
@@ -380,7 +389,7 @@ func Run(job Job, cfg Config) (Result, error) {
 	}
 	s.eng.Run()
 	if s.remaining != 0 {
-		return Result{}, fmt.Errorf("cluster: %d tasks never completed (DAG cycle or scheduler bug)", s.remaining)
+		return Result{}, fmt.Errorf("cluster: %d tasks never completed (DAG cycle or scheduler bug): %w", s.remaining, ErrStalled)
 	}
 	s.res.Messages = s.net.Messages()
 	s.res.BytesSent = s.net.BytesSent()

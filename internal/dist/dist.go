@@ -252,7 +252,7 @@ func (w *World) watchdog(stop <-chan struct{}) {
 		select {
 		case <-stop:
 			return
-		case <-time.After(probe):
+		case <-time.After(probe): //lint:simdet deadlock watchdog samples real goroutines, not simulated time
 		}
 		done := uint64(0)
 		for _, r := range w.ranks {

@@ -39,9 +39,12 @@ import (
 type Sim struct {
 	direct *Direct
 
-	mu    sync.Mutex // guards meter and prof (single-threaded by design)
+	mu sync.Mutex
+	// meter prices every message on the virtual fabric. // guarded by mu
 	meter *simnet.Meter
-	prof  *place.Profile
+	// prof is the attached placement profile, nil when not recording.
+	// // guarded by mu
+	prof *place.Profile
 }
 
 // NewSim returns a simnet-backed transport with the given flat interconnect
@@ -66,6 +69,8 @@ func NewSimTopology(topo *simnet.Topology) *Sim {
 // Topology returns the placement the transport prices by, nil for the flat
 // NewSim transport.
 func (s *Sim) Topology() *simnet.Topology {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.meter.Topology()
 }
 

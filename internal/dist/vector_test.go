@@ -324,9 +324,9 @@ func TestAllreduceAutoSelectsByBytes(t *testing.T) {
 		vlen     int
 		wantMsgs uint64
 	}{
-		{"gather", 4, 2 * (n - 1)},                                  // 32 B < tree crossover
-		{"tree", TreeAllreduceCrossoverBytes / 8, 8},                // exactly the tree crossover
-		{"rabenseifner", RabenseifnerCrossoverBytes / 8, 16},        // exactly the Rabenseifner crossover
+		{"gather", 4, 2 * (n - 1)},                           // 32 B < tree crossover
+		{"tree", TreeAllreduceCrossoverBytes / 8, 8},         // exactly the tree crossover
+		{"rabenseifner", RabenseifnerCrossoverBytes / 8, 16}, // exactly the Rabenseifner crossover
 		{"rabenseifner-large", RabenseifnerCrossoverBytes / 8 * 2, 16},
 	}
 	for _, tc := range cases {
@@ -345,7 +345,7 @@ func TestAllreduceAutoSelectsByBytes(t *testing.T) {
 		if got := w.MessagesSent(); got != tc.wantMsgs {
 			t.Errorf("%s (vlen %d): messages = %d, want %d", tc.name, tc.vlen, got, tc.wantMsgs)
 		}
-		want := float64(0+1+2+3)
+		want := float64(0 + 1 + 2 + 3)
 		for i := range bufs {
 			if bufs[i][0] != want {
 				t.Errorf("%s: member %d result %v, want %v", tc.name, i, bufs[i][0], want)
@@ -428,7 +428,7 @@ func TestVectorCollectivesQuickBitwise(t *testing.T) {
 				return rt.Config{
 					Workers:  2,
 					Selector: core.ReplicateAll{},
-					Injector: fault.NewFixedRate(seed + uint64(rank)*13 + 1, 0.05, 0.05),
+					Injector: fault.NewFixedRate(seed+uint64(rank)*13+1, 0.05, 0.05),
 				}
 			}}
 			if placed {

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -26,6 +27,12 @@ import (
 	"appfit/internal/sweep"
 	"appfit/internal/trace"
 )
+
+// ErrCriteria is the sentinel wrapped by every experiment whose measured
+// result violates an acceptance criterion from the paper's evaluation
+// (optimized must beat random, hierarchical must beat flat, ...), so
+// harnesses can errors.Is a criteria failure apart from setup errors.
+var ErrCriteria = errors.New("experiments: acceptance criterion failed")
 
 // Table1 renders the benchmark inventory with measured task counts and
 // input footprints at the given scale.

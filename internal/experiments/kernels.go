@@ -95,8 +95,8 @@ func KernelsTable(eng *sweep.Engine, ranks, perNode, vecLen int, seed uint64) ([
 	add("allreduce 256KiB", "tree", treeUS, treeMB)
 	add("allreduce 256KiB", "rabenseifner", rabUS, rabMB)
 	if rabUS >= treeUS || rabMB >= treeMB {
-		return nil, "", fmt.Errorf("experiments: kernels: rabenseifner (%.1f µs, %.2f MB) must strictly beat tree (%.1f µs, %.2f MB) on large vectors",
-			rabUS, rabMB, treeUS, treeMB)
+		return nil, "", fmt.Errorf("experiments: kernels: rabenseifner (%.1f µs, %.2f MB) must strictly beat tree (%.1f µs, %.2f MB) on large vectors: %w",
+			rabUS, rabMB, treeUS, treeMB, ErrCriteria)
 	}
 
 	// Section 2: distributed cholesky flat vs hierarchical on the placed
@@ -140,8 +140,8 @@ func KernelsTable(eng *sweep.Engine, ranks, perNode, vecLen int, seed uint64) ([
 	add("cholesky 16×16²", "flat", cholUS[0], cholWire[0])
 	add("cholesky 16×16²", "hier", cholUS[1], cholWire[1])
 	if cholWire[1] >= cholWire[0] {
-		return nil, "", fmt.Errorf("experiments: kernels: hierarchical cholesky wire %.2f MB must strictly beat flat %.2f MB",
-			cholWire[1], cholWire[0])
+		return nil, "", fmt.Errorf("experiments: kernels: hierarchical cholesky wire %.2f MB must strictly beat flat %.2f MB: %w",
+			cholWire[1], cholWire[0], ErrCriteria)
 	}
 
 	// Section 3: placement search over the recorded cholesky traffic. The
@@ -169,8 +169,8 @@ func KernelsTable(eng *sweep.Engine, ranks, perNode, vecLen int, seed uint64) ([
 	add("cholesky placement", "random", random.Makespan.Seconds()*1e6, float64(random.WireBytes)/1e6)
 	add("cholesky placement", "optimized", res.Eval.Makespan.Seconds()*1e6, float64(res.Eval.WireBytes)/1e6)
 	if res.Eval.Makespan >= random.Makespan {
-		return nil, "", fmt.Errorf("experiments: kernels: optimized placement %.1f µs must strictly beat the random start %.1f µs",
-			res.Eval.Makespan.Seconds()*1e6, random.Makespan.Seconds()*1e6)
+		return nil, "", fmt.Errorf("experiments: kernels: optimized placement %.1f µs must strictly beat the random start %.1f µs: %w",
+			res.Eval.Makespan.Seconds()*1e6, random.Makespan.Seconds()*1e6, ErrCriteria)
 	}
 
 	return rows, t.String() + "\nvirtual clocks and seeded searches only: every number is deterministic\n", nil

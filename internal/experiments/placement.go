@@ -126,12 +126,12 @@ func PlacementTable(eng *sweep.Engine, ranks, perNode, vecLen int, seed uint64) 
 			eval place.Eval
 		}{{"optimized", res.Eval}, {"annealed", annealed.Eval}} {
 			if search.eval.Makespan > random.Makespan {
-				return nil, "", fmt.Errorf("experiments: placement %s: %s %v µs worse than random start %v µs",
-					wl.name, search.name, search.eval.Makespan.Seconds()*1e6, random.Makespan.Seconds()*1e6)
+				return nil, "", fmt.Errorf("experiments: placement %s: %s %v µs worse than random start %v µs: %w",
+					wl.name, search.name, search.eval.Makespan.Seconds()*1e6, random.Makespan.Seconds()*1e6, ErrCriteria)
 			}
 			if wl.name == "halo" && (search.eval.Makespan > block.Makespan || search.eval.Makespan >= random.Makespan) {
-				return nil, "", fmt.Errorf("experiments: placement halo: %s %v µs must recover ≥ block (%v µs) and beat random (%v µs)",
-					search.name, search.eval.Makespan.Seconds()*1e6, block.Makespan.Seconds()*1e6, random.Makespan.Seconds()*1e6)
+				return nil, "", fmt.Errorf("experiments: placement halo: %s %v µs must recover ≥ block (%v µs) and beat random (%v µs): %w",
+					search.name, search.eval.Makespan.Seconds()*1e6, block.Makespan.Seconds()*1e6, random.Makespan.Seconds()*1e6, ErrCriteria)
 			}
 		}
 	}

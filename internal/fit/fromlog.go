@@ -2,11 +2,17 @@ package fit
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
+
+// ErrLog is the sentinel wrapped by every failure-log rejection — negative
+// fields, missing exposure, malformed lines — so drivers can errors.Is a
+// bad operator-supplied log without matching message text.
+var ErrLog = errors.New("fit: invalid failure log")
 
 // LogEntry is one observation period from a system failure history: a
 // machine (or partition) of FootprintBytes observed for Hours, during which
@@ -33,14 +39,14 @@ func FromLog(entries []LogEntry) (Rates, error) {
 	var dues, sdcs float64
 	for _, e := range entries {
 		if e.FootprintBytes < 0 || e.Hours < 0 || e.DUEs < 0 || e.SDCs < 0 {
-			return Rates{}, fmt.Errorf("fit: negative field in log entry %+v", e)
+			return Rates{}, fmt.Errorf("fit: negative field in log entry %+v: %w", e, ErrLog)
 		}
 		exposure += e.Hours * float64(e.FootprintBytes) / float64(BytesPer32GB)
 		dues += float64(e.DUEs)
 		sdcs += float64(e.SDCs)
 	}
 	if exposure <= 0 {
-		return Rates{}, fmt.Errorf("fit: log has no exposure")
+		return Rates{}, fmt.Errorf("fit: log has no exposure: %w", ErrLog)
 	}
 	return Rates{
 		DUEPer32GB: dues / exposure * HoursPerBillion,
@@ -66,7 +72,7 @@ func ParseLog(r io.Reader) ([]LogEntry, error) {
 		}
 		f := strings.Fields(text)
 		if len(f) != 4 {
-			return nil, fmt.Errorf("fit: log line %d: want 4 fields, got %d", line, len(f))
+			return nil, fmt.Errorf("fit: log line %d: want 4 fields, got %d: %w", line, len(f), ErrLog)
 		}
 		bytes, err := strconv.ParseInt(f[0], 10, 64)
 		if err != nil {

@@ -1,0 +1,193 @@
+// Package lockedfield checks that struct fields annotated with a
+// `// guarded by <mu>` comment are only touched by functions that lock
+// that mutex — the Profile.Entries lazy-cache pattern from PR 6, whose
+// original bug (a cache built without the guard) is exactly what this
+// catches at compile time.
+//
+// The check is intra-procedural and deliberately modest: a function that
+// reads or writes a guarded field must somewhere in its body call
+// `<x>.<mu>.Lock()` or `<x>.<mu>.RLock()` (defer counts; which x is not
+// verified — aliasing two instances of one struct in a function is beyond
+// a syntactic check). Two sanctioned silences:
+//
+//   - accesses through a variable the function itself constructed
+//     (`p := &T{...}`, `new(T)`) are exempt — a value that has not
+//     escaped needs no lock;
+//   - a function whose caller holds the lock carries a
+//     `//lint:lockedfield <reason>` waiver on the access line.
+//
+// Annotate the field itself: `entries []Entry // guarded by mu`, or a
+// `// guarded by mu.` sentence in the field's doc comment.
+package lockedfield
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"appfit/internal/lint/analysis"
+)
+
+// Analyzer is the lockedfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedfield",
+	Doc:  "checks that fields annotated `// guarded by <mu>` are accessed only under that mutex",
+	Run:  run,
+}
+
+// guardRe extracts the mutex field name from a guard annotation.
+var guardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each annotated field object to its guarding mutex
+// field name.
+func collectGuards(pass *analysis.Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardName returns the mutex name from the field's doc or line comment,
+// "" when unannotated.
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFunc flags guarded-field accesses in fn when fn never locks the
+// guarding mutex.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[types.Object]string) {
+	// Mutex names fn locks: any  <expr>.<name>.Lock()  or .RLock() call.
+	locked := map[string]bool{}
+	// Local variables initialized from a fresh composite literal or
+	// new(T): values that cannot have escaped to another goroutine yet.
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+					locked[inner.Sel.Name] = true
+				} else if id, ok := sel.X.(*ast.Ident); ok {
+					locked[id.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if i >= len(n.Rhs) || !freshExpr(n.Rhs[i]) {
+					continue
+				}
+				if id, ok := l.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, guarded := guards[selection.Obj()]
+		if !guarded || locked[mu] {
+			return true
+		}
+		if root, ok := rootIdent(sel.X); ok {
+			if obj := pass.TypesInfo.Uses[root]; obj != nil && fresh[obj] {
+				return true
+			}
+		}
+		name := fn.Name.Name
+		pass.Reportf(sel.Pos(), "%s accesses %s, which is guarded by %s, without locking it (lock it, or waive with //lint:lockedfield if the caller holds it)",
+			name, selection.Obj().Name(), mu)
+		return true
+	})
+}
+
+// freshExpr reports whether e constructs a new value: &T{...}, T{...} or
+// new(T).
+func freshExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// rootIdent walks selector/star/paren/index chains down to the base
+// identifier of an access like (*p).cache[i].
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockedfield_test
+
+import (
+	"testing"
+
+	"appfit/internal/lint/linttest"
+	"appfit/internal/lint/lockedfield"
+)
+
+func TestLockedfield(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", lockedfield.Analyzer)
+}

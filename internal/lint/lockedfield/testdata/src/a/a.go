@@ -1,0 +1,66 @@
+// Package a is lockedfield testdata: fields annotated `// guarded by mu`
+// must only be touched under that mutex.
+package a
+
+import "sync"
+
+// Cache is the Profile.Entries lazy-cache pattern.
+type Cache struct {
+	mu sync.Mutex
+	// entries is the lazily built view. // guarded by mu
+	entries []int
+	n       int // unguarded: free to touch
+}
+
+// Good locks before touching the guarded field.
+func (c *Cache) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = []int{1, 2, 3}
+	}
+	return len(c.entries)
+}
+
+// Bad reads the guarded field with no lock anywhere in the function.
+func (c *Cache) Bad() int {
+	return len(c.entries) // want `guarded by mu`
+}
+
+// BadWrite writes it without the lock.
+func (c *Cache) BadWrite() {
+	c.entries = nil // want `guarded by mu`
+}
+
+// Unguarded touches only the unannotated field.
+func (c *Cache) Unguarded() int { return c.n }
+
+// New constructs a fresh value: it has not escaped, no lock needed.
+func New() *Cache {
+	c := &Cache{}
+	c.entries = []int{1}
+	return c
+}
+
+// lockedHelper documents that its caller holds mu.
+func (c *Cache) lockedHelper() int {
+	return len(c.entries) //lint:lockedfield caller holds mu
+}
+
+// RCache exercises the RLock spelling and a line-comment annotation.
+type RCache struct {
+	mu sync.RWMutex
+	v  map[string]int // guarded by mu
+}
+
+// Get read-locks.
+func (r *RCache) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v[k]
+}
+
+// Peek forgets the lock.
+func (r *RCache) Peek(k string) int {
+	return r.v[k] // want `guarded by mu`
+}

@@ -1,0 +1,287 @@
+// Package maporder flags `range` loops over maps whose iteration order
+// can reach an output — the bug class behind the PR 7 fault.Keyer sort
+// and the PR 8 dep-edge emission fix, both of which silently defeated the
+// sweep engine's content-addressed cache.
+//
+// A map-range loop is flagged when its body, using the loop key/value (or
+// a value derived from them inside the body), does any of:
+//
+//   - append to a slice declared outside the loop, unless that slice is
+//     later passed to a sort/slices call in the same function — the
+//     collect-then-sort idiom is the sanctioned fix and stays silent;
+//   - write to a stream: a Write/WriteString/WriteByte/WriteRune/Encode
+//     method, fmt.Print*/Fprint*, or io.WriteString — bytes emitted during
+//     iteration can never be re-sorted;
+//   - send on a channel.
+//
+// Order-insensitive folds (counters, sums, min/max, writes into another
+// map, delete) never trigger. Deliberate unordered emission is waived
+// with `//lint:maporder <reason>` on the `for` line or the line above.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"appfit/internal/lint/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map-range loops whose iteration order reaches an output (append-then-no-sort, stream writes, channel sends)",
+	Run:  run,
+}
+
+// writeMethods are method names that emit bytes in call order.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				checkRange(pass, rs, enclosingFuncBody(stack))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing function
+// (declaration or literal) on the inspect stack, nil at package level.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	// Taint starts at the loop key/value objects; assignments inside the
+	// body whose right side references a tainted object extend it, so
+	// `s := fmt.Sprintf("%s", k); out = append(out, s)` is still caught.
+	tainted := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		// `for range m` carries no key material; nothing order-dependent
+		// can leak.
+		return
+	}
+
+	reported := false
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported {
+			// One finding per loop: the first emission names the loop, and
+			// the fix (sort or waive) is per-loop anyway.
+			pass.Reportf(pos, format, args...)
+			reported = true
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Propagate taint, and catch append-accumulation.
+			rhsTainted := false
+			for _, r := range n.Rhs {
+				if refsTainted(pass, r, tainted) {
+					rhsTainted = true
+				}
+			}
+			for i, l := range n.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if rhsTainted {
+					tainted[obj] = true
+				}
+				if i < len(n.Rhs) {
+					if call := appendCall(n.Rhs[i]); call != nil &&
+						refsTainted(pass, call, tainted) &&
+						declaredOutside(obj, rs) &&
+						!sortedAfter(pass, fnBody, rs, obj) {
+						report(rs.For, "map iteration order reaches %s: appended inside the range but never sorted (sort after the loop or waive with //lint:maporder)", id.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if refsTainted(pass, n.Value, tainted) {
+				report(rs.For, "map iteration order reaches a channel send (collect and sort instead, or waive with //lint:maporder)")
+			}
+		case *ast.CallExpr:
+			if name, ok := streamWrite(pass, n); ok && callArgsTainted(pass, n, tainted) {
+				report(rs.For, "map iteration order reaches %s: bytes emitted during map iteration cannot be re-sorted (iterate a sorted view, or waive with //lint:maporder)", name)
+			}
+		}
+		return true
+	})
+}
+
+// appendCall returns e as a call to the append builtin, or nil.
+func appendCall(e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	return call
+}
+
+// refsTainted reports whether any identifier under e resolves to a
+// tainted object.
+func refsTainted(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callArgsTainted reports whether a tainted object appears in the call's
+// arguments (not its callee — m.Write(x) with tainted m alone is not an
+// emission of key material).
+func callArgsTainted(pass *analysis.Pass, call *ast.CallExpr, tainted map[types.Object]bool) bool {
+	for _, a := range call.Args {
+		if refsTainted(pass, a, tainted) {
+			return true
+		}
+	}
+	return false
+}
+
+// streamWrite classifies call as an ordered byte emission: a writer/encoder
+// method, an fmt print call, or io.WriteString. It returns a short name
+// for the diagnostic.
+func streamWrite(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Package function: fmt.Print*/Fprint*, io.WriteString.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "fmt":
+				if n := sel.Sel.Name; strings.HasPrefix(n, "Print") || strings.HasPrefix(n, "Fprint") {
+					return "fmt." + n, true
+				}
+			case "io":
+				if sel.Sel.Name == "WriteString" {
+					return "io.WriteString", true
+				}
+			}
+			return "", false
+		}
+	}
+	if writeMethods[sel.Sel.Name] {
+		return "(…)." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// declaredOutside reports whether obj was declared before the range
+// statement — an accumulator that outlives the loop.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.For || obj.Pos() > rs.Body.End()
+}
+
+// sortedAfter reports whether, somewhere after the range loop in the same
+// function body, obj is passed to a sort or slices call — the
+// collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			match := false
+			ast.Inspect(a, func(m ast.Node) bool {
+				if aid, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[aid] == obj {
+					match = true
+				}
+				return !match
+			})
+			if match {
+				sorted = true
+				break
+			}
+		}
+		return true
+	})
+	return sorted
+}

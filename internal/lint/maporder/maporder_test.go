@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"appfit/internal/lint/linttest"
+	"appfit/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", maporder.Analyzer)
+}

@@ -1,0 +1,126 @@
+// Package a is maporder testdata: positives, negatives, and waiver
+// suppression for map-range loops whose iteration order can reach an
+// output.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// keysUnsorted accumulates map keys and never sorts them: the PR 7/PR 8
+// cache-key bug class.
+func keysUnsorted(m map[string]int) []string {
+	out := []string{}
+	for k := range m { // want `map iteration order reaches out`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted is the sanctioned collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortSlice exercises the sort.Slice spelling of the idiom.
+func sortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// derived catches key material laundered through a local before the
+// append.
+func derived(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `map iteration order reaches out`
+		line := fmt.Sprintf("%s=%d", k, v)
+		out = append(out, line)
+	}
+	return out
+}
+
+// emitsDuring writes bytes mid-iteration; no later sort can fix that.
+func emitsDuring(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `cannot be re-sorted`
+		sb.WriteString(k)
+	}
+}
+
+// fprints is the printf spelling of the same leak.
+func fprints(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `fmt\.Fprintf`
+		fmt.Fprintf(sb, "%s\n", k)
+	}
+}
+
+// prints leaks iteration order to stdout.
+func prints(m map[string]int) {
+	for k := range m { // want `fmt\.Println`
+		fmt.Println(k)
+	}
+}
+
+// channelSend leaks iteration order to a consumer.
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m { // want `channel send`
+		ch <- k
+	}
+}
+
+// countOnly folds order-insensitively: never flagged.
+func countOnly(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// intoMap writes into another map: order-insensitive, never flagged.
+func intoMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// noVars carries no key material at all.
+func noVars(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// localScratch appends to a slice declared inside the loop body: it dies
+// each iteration, so order cannot accumulate.
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		pair := []int{}
+		pair = append(pair, vs...)
+		total += len(pair)
+	}
+	return total
+}
+
+// waived documents a deliberate unordered emission.
+func waived(m map[string]int, ch chan string) {
+	//lint:maporder deliberate unordered fan-out, consumer re-aggregates
+	for k := range m {
+		ch <- k
+	}
+}

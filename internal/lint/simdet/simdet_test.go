@@ -1,0 +1,16 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"appfit/internal/lint/linttest"
+	"appfit/internal/lint/simdet"
+)
+
+func TestSimdetDirectivePackage(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", simdet.Analyzer)
+}
+
+func TestSimdetOutOfScopePackage(t *testing.T) {
+	linttest.Run(t, "testdata/src/b", simdet.Analyzer)
+}

@@ -1,0 +1,33 @@
+// Package a is simdet testdata: a package opted into the determinism
+// contract via the //appfit:deterministic directive.
+//
+//appfit:deterministic
+package a
+
+import (
+	"math/rand" // want `imports math/rand`
+	"time"
+)
+
+// now reads the host clock.
+func now() int64 { return time.Now().UnixNano() } // want `time\.Now`
+
+// wait blocks on the host clock.
+func wait() { time.Sleep(time.Millisecond) } // want `time\.Sleep`
+
+// timer arms a wall-clock timer.
+func timer() *time.Timer { return time.NewTimer(time.Second) } // want `time\.NewTimer`
+
+// dur treats time.Duration purely as data: allowed.
+func dur(d time.Duration) time.Duration { return d * 2 }
+
+// stamp treats time.Time purely as data: allowed.
+func stamp(t time.Time) time.Time { return t }
+
+// draw uses the flagged import; the import line carries the one finding.
+func draw() int { return rand.Int() }
+
+// metric is a deliberate wall-clock exception, waived in place.
+func metric(start time.Time) time.Duration {
+	return time.Since(start) //lint:simdet wall-clock service metric
+}

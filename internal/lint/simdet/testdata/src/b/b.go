@@ -1,0 +1,9 @@
+// Package b is simdet testdata for scope: no directive, not under a
+// deterministic import-path root, so wall-clock use is fine here.
+package b
+
+import "time"
+
+// Now is out of the contract's scope: no findings expected anywhere in
+// this package.
+func Now() time.Time { return time.Now() }

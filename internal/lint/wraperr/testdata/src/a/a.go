@@ -1,0 +1,74 @@
+// Package a is wraperr testdata. Its import path sits under
+// appfit/internal/, so the boundary-error convention applies by path.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBase is the package sentinel: the convention's anchor.
+var ErrBase = errors.New("a: base")
+
+// NamedError is a declared error type: allowed at the boundary.
+type NamedError struct{ Op string }
+
+func (e *NamedError) Error() string { return "named: " + e.Op }
+
+// AdHocNew leaks an anonymous error nobody can errors.Is.
+func AdHocNew() error {
+	return errors.New("oops") // want `ad-hoc errors\.New`
+}
+
+// NoWrap formats without wrapping anything.
+func NoWrap(n int) error {
+	return fmt.Errorf("bad input %d", n) // want `fmt\.Errorf without %w`
+}
+
+// VerbV is the classic breakage: %v flattens the chain errors.Is needs.
+func VerbV(err error) error {
+	return fmt.Errorf("context: %v", err) // want `fmt\.Errorf without %w`
+}
+
+// Wrapped is the convention: context plus a %w-reachable sentinel.
+func Wrapped(n int) error {
+	return fmt.Errorf("bad input %d: %w", n, ErrBase)
+}
+
+// Sentinel returns the sentinel itself.
+func Sentinel() error { return ErrBase }
+
+// Named returns a declared error type.
+func Named(op string) error { return &NamedError{Op: op} }
+
+// Propagate passes a caller's error through.
+func Propagate(err error) error { return err }
+
+// internalHelper is not a boundary; ad-hoc errors inside the package are
+// the callers' business.
+func internalHelper() error { return errors.New("x") }
+
+// Waived is a deliberate opaque error, justified in place.
+func Waived() error {
+	return errors.New("deliberately opaque") //lint:wraperr opaque by design
+}
+
+// Exported exercises the exported-method boundary.
+type Exported struct{}
+
+// Method is exported on an exported type: a boundary.
+func (Exported) Method() error {
+	return errors.New("m") // want `ad-hoc errors\.New`
+}
+
+type hidden struct{}
+
+// Method on an unexported receiver is not a boundary.
+func (hidden) Method() error { return errors.New("h") }
+
+// InLiteral returns a closure's result: the closure's returns are not the
+// boundary, and the call result passes through unflagged.
+func InLiteral() error {
+	f := func() error { return errors.New("inner") }
+	return f()
+}

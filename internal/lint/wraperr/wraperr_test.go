@@ -1,0 +1,12 @@
+package wraperr_test
+
+import (
+	"testing"
+
+	"appfit/internal/lint/linttest"
+	"appfit/internal/lint/wraperr"
+)
+
+func TestWraperr(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", wraperr.Analyzer)
+}

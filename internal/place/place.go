@@ -86,7 +86,7 @@ type Profile struct {
 	// recording concurrent with reading is a caller error either way.
 	mu sync.Mutex
 	// entries caches the deterministic flattened view replay iterates;
-	// invalidated by Add.
+	// invalidated by Add. // guarded by mu
 	entries []Entry
 }
 
@@ -140,7 +140,7 @@ func (p *Profile) AddN(src, dst int, bytes int64, n uint64) {
 	pt.messages += n
 	pt.bytes += int64(n) * bytes
 	pt.sizes[bytes] += n
-	p.entries = nil
+	p.entries = nil //lint:lockedfield recording is single-threaded by contract; mu only protects the read-side cache build
 }
 
 // Messages returns the total recorded message count.

@@ -19,7 +19,7 @@ import "sync"
 // runtime's contention profile is dominated by task bodies, not the deque).
 type Deque struct {
 	mu    sync.Mutex
-	items []uint64
+	items []uint64 // guarded by mu
 }
 
 // PushBottom adds an item at the owner end.

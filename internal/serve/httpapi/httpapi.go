@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -97,6 +98,15 @@ func builtJob(benchName string, scale workload.Scale, scaleName string, nodes in
 	return job, nil
 }
 
+// ErrSpec is the sentinel wrapped by every JobSpec rejection (unknown
+// scale or bench, out-of-range rate), so servers can map it to a 400
+// without matching message text.
+var ErrSpec = errors.New("httpapi: invalid job spec")
+
+// ErrStatus is the sentinel wrapped by client-side failures carrying a
+// non-OK HTTP status that is not an admission error.
+var ErrStatus = errors.New("httpapi: unexpected response status")
+
 // Request builds the sweep request the spec names.
 func (s JobSpec) Request() (sweep.Request, error) {
 	var scale workload.Scale
@@ -108,7 +118,7 @@ func (s JobSpec) Request() (sweep.Request, error) {
 	case "medium":
 		scale = workload.Medium
 	default:
-		return sweep.Request{}, fmt.Errorf("httpapi: unknown scale %q", s.Scale)
+		return sweep.Request{}, fmt.Errorf("httpapi: unknown scale %q: %w", s.Scale, ErrSpec)
 	}
 	nodes := s.Nodes
 	if nodes < 1 {
@@ -119,7 +129,7 @@ func (s JobSpec) Request() (sweep.Request, error) {
 		cores = 16
 	}
 	if s.Rate < 0 || s.Rate >= 1 {
-		return sweep.Request{}, fmt.Errorf("httpapi: fault rate %g outside [0, 1)", s.Rate)
+		return sweep.Request{}, fmt.Errorf("httpapi: fault rate %g outside [0, 1): %w", s.Rate, ErrSpec)
 	}
 	job, err := builtJob(s.Bench, scale, s.Scale, nodes)
 	if err != nil {
@@ -300,7 +310,7 @@ func (c *Client) Submit(ctx context.Context, tenant string, specs []JobSpec) (*S
 		if json.Unmarshal(raw, &e) == nil && e.Reason != "" {
 			return nil, &serve.AdmissionError{Tenant: e.Tenant, Reason: e.Reason, Requests: len(specs)}
 		}
-		return nil, fmt.Errorf("httpapi: submit: %s: %s", resp.Status, bytes.TrimSpace(raw))
+		return nil, fmt.Errorf("httpapi: submit: %s: %s: %w", resp.Status, bytes.TrimSpace(raw), ErrStatus)
 	}
 	var out SubmitResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
@@ -321,7 +331,7 @@ func (c *Client) Stats(ctx context.Context) (*serve.Stats, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("httpapi: stats: %s", resp.Status)
+		return nil, fmt.Errorf("httpapi: stats: %s: %w", resp.Status, ErrStatus)
 	}
 	var st serve.Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {

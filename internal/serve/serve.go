@@ -174,10 +174,19 @@ type Server struct {
 	onDispatch func(tenant string)
 }
 
+// ErrConfig is the sentinel wrapped by every New rejection (no tenants,
+// duplicate tenants, bad per-tenant parameters), so daemons can errors.Is
+// a bad configuration apart from runtime failures.
+var ErrConfig = errors.New("serve: invalid configuration")
+
+// ErrAccounting is the sentinel wrapped by Stats.Accounting when a
+// tenant's books do not balance — always a service bug, never load.
+var ErrAccounting = errors.New("serve: accounting mismatch")
+
 // New starts a Server with opts' tenants and workers running.
 func New(opts Options) (*Server, error) {
 	if len(opts.Tenants) == 0 {
-		return nil, fmt.Errorf("serve: no tenants configured")
+		return nil, fmt.Errorf("serve: no tenants configured: %w", ErrConfig)
 	}
 	eng := opts.Engine
 	if eng == nil {
@@ -202,7 +211,7 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 		if _, dup := s.tenants[tc.Name]; dup {
-			return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
+			return nil, fmt.Errorf("serve: duplicate tenant %q: %w", tc.Name, ErrConfig)
 		}
 		s.tenants[tc.Name] = &tenant{
 			name:     tc.Name,
@@ -464,8 +473,8 @@ func (s *Server) Stats() Stats {
 func (st Stats) Accounting() error {
 	for _, t := range st.Tenants {
 		if t.Admitted != t.Completed+t.Failed+uint64(t.Queued)+uint64(t.Inflight) {
-			return fmt.Errorf("serve: accounting mismatch for tenant %q: admitted %d != completed %d + failed %d + queued %d + inflight %d",
-				t.Tenant, t.Admitted, t.Completed, t.Failed, t.Queued, t.Inflight)
+			return fmt.Errorf("serve: accounting mismatch for tenant %q: admitted %d != completed %d + failed %d + queued %d + inflight %d: %w",
+				t.Tenant, t.Admitted, t.Completed, t.Failed, t.Queued, t.Inflight, ErrAccounting)
 		}
 	}
 	return nil

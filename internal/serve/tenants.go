@@ -1,10 +1,16 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrTenantSpec is the sentinel wrapped by every ParseTenants rejection,
+// so drivers can errors.Is a malformed -tenants flag without matching
+// message text.
+var ErrTenantSpec = errors.New("serve: invalid tenant spec")
 
 // ParseTenants parses the compact tenant spec the daemons take on their
 // command line: comma-separated `name=weight[/rate[/burst[/cap]]]` entries,
@@ -27,16 +33,16 @@ func ParseTenants(spec string) ([]TenantConfig, error) {
 		name, rest, hasParams := strings.Cut(entry, "=")
 		tc.Name = strings.TrimSpace(name)
 		if tc.Name == "" {
-			return nil, fmt.Errorf("serve: tenant spec %q: empty name", entry)
+			return nil, fmt.Errorf("serve: tenant spec %q: empty name: %w", entry, ErrTenantSpec)
 		}
 		if seen[tc.Name] {
-			return nil, fmt.Errorf("serve: tenant spec: duplicate tenant %q", tc.Name)
+			return nil, fmt.Errorf("serve: tenant spec: duplicate tenant %q: %w", tc.Name, ErrTenantSpec)
 		}
 		seen[tc.Name] = true
 		if hasParams {
 			parts := strings.Split(rest, "/")
 			if len(parts) > 4 {
-				return nil, fmt.Errorf("serve: tenant spec %q: want name=weight[/rate[/burst[/cap]]]", entry)
+				return nil, fmt.Errorf("serve: tenant spec %q: want name=weight[/rate[/burst[/cap]]]: %w", entry, ErrTenantSpec)
 			}
 			for i, p := range parts {
 				p = strings.TrimSpace(p)
@@ -47,25 +53,25 @@ func ParseTenants(spec string) ([]TenantConfig, error) {
 				case 0:
 					w, err := strconv.Atoi(p)
 					if err != nil || w < 1 {
-						return nil, fmt.Errorf("serve: tenant spec %q: bad weight %q", entry, p)
+						return nil, fmt.Errorf("serve: tenant spec %q: bad weight %q: %w", entry, p, ErrTenantSpec)
 					}
 					tc.Weight = w
 				case 1:
 					r, err := strconv.ParseFloat(p, 64)
 					if err != nil || r < 0 {
-						return nil, fmt.Errorf("serve: tenant spec %q: bad rate %q", entry, p)
+						return nil, fmt.Errorf("serve: tenant spec %q: bad rate %q: %w", entry, p, ErrTenantSpec)
 					}
 					tc.Rate = r
 				case 2:
 					b, err := strconv.Atoi(p)
 					if err != nil || b < 1 {
-						return nil, fmt.Errorf("serve: tenant spec %q: bad burst %q", entry, p)
+						return nil, fmt.Errorf("serve: tenant spec %q: bad burst %q: %w", entry, p, ErrTenantSpec)
 					}
 					tc.Burst = b
 				case 3:
 					c, err := strconv.Atoi(p)
 					if err != nil || c < 1 {
-						return nil, fmt.Errorf("serve: tenant spec %q: bad queue cap %q", entry, p)
+						return nil, fmt.Errorf("serve: tenant spec %q: bad queue cap %q: %w", entry, p, ErrTenantSpec)
 					}
 					tc.QueueCap = c
 				}
@@ -74,7 +80,7 @@ func ParseTenants(spec string) ([]TenantConfig, error) {
 		out = append(out, tc)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("serve: tenant spec %q names no tenants", spec)
+		return nil, fmt.Errorf("serve: tenant spec %q names no tenants: %w", spec, ErrTenantSpec)
 	}
 	return out, nil
 }

@@ -164,8 +164,16 @@ func (o Options) normalized() Options {
 type Engine struct {
 	opts Options
 
-	mu       sync.Mutex
-	cache    *lru // nil when disabled
+	// now is the engine's wall clock, read only for the per-request stage
+	// Metrics (queue wait, cache lookup, sim, total) — service
+	// observability, never simulation time, which stays virtual
+	// (simtime). Injected so tests can drive the metrics deterministically.
+	now func() time.Time
+
+	mu sync.Mutex
+	// cache is the bounded results LRU, nil when disabled. // guarded by mu
+	cache *lru
+	// inflight is the singleflight table. // guarded by mu
 	inflight map[[32]byte]*call
 
 	requests, hits, misses, coalesced, uncacheable, evictions atomic.Uint64
@@ -181,7 +189,11 @@ type call struct {
 // New returns an Engine with opts applied.
 func New(opts Options) *Engine {
 	opts = opts.normalized()
-	e := &Engine{opts: opts, inflight: make(map[[32]byte]*call)}
+	e := &Engine{
+		opts:     opts,
+		now:      time.Now, //lint:simdet wall-clock stage metrics only; results never depend on it
+		inflight: make(map[[32]byte]*call),
+	}
 	if opts.CacheEntries > 0 {
 		e.cache = newLRU(opts.CacheEntries)
 	}
@@ -270,10 +282,10 @@ type preKey struct {
 // completion.
 func (e *Engine) runOne(ctx context.Context, idx int, req Request, enqueued time.Time, pre *preKey) Response {
 	e.requests.Add(1)
-	started := time.Now()
+	started := e.now()
 	m := Metrics{Index: idx, Name: req.Job.Name, QueueWait: started.Sub(enqueued)}
 	if err := ctx.Err(); err != nil {
-		m.Total = time.Since(enqueued)
+		m.Total = e.now().Sub(enqueued)
 		cfg := req.Config.Normalized()
 		return Response{Err: &RequestError{Index: idx, Name: req.Job.Name,
 			Nodes: cfg.Nodes, Cores: cfg.CoresPerNode, Err: err}, Metrics: m}
@@ -286,14 +298,14 @@ func (e *Engine) runOne(ctx context.Context, idx int, req Request, enqueued time
 	} else {
 		key, cacheable = RunKey(req.Job, req.Config)
 	}
-	m.CacheLookup = time.Since(started)
+	m.CacheLookup = e.now().Sub(started)
 	if cacheable {
 		m.Key = fmt.Sprintf("%x", key[:8])
 	}
 
 	var res cluster.Result
 	var err error
-	simStart := time.Now()
+	simStart := e.now()
 	if !cacheable {
 		e.uncacheable.Add(1)
 		res, err = cluster.Run(req.Job, req.Config)
@@ -310,9 +322,9 @@ func (e *Engine) runOne(ctx context.Context, idx int, req Request, enqueued time
 		}
 	}
 	if !m.CacheHit {
-		m.Sim = time.Since(simStart)
+		m.Sim = e.now().Sub(simStart)
 	}
-	m.Total = time.Since(enqueued)
+	m.Total = e.now().Sub(enqueued)
 	if err != nil {
 		cfg := req.Config.Normalized()
 		err = &RequestError{Index: idx, Name: req.Job.Name,
@@ -335,7 +347,7 @@ func cloneResult(r cluster.Result) cluster.Result {
 // Run executes one request (through the cache and coalescing) and blocks
 // for its result.
 func (e *Engine) Run(job cluster.Job, cfg cluster.Config) (cluster.Result, error) {
-	resp := e.runOne(context.Background(), 0, Request{Job: job, Config: cfg}, time.Now(), nil)
+	resp := e.runOne(context.Background(), 0, Request{Job: job, Config: cfg}, e.now(), nil)
 	return resp.Result, resp.Err
 }
 
@@ -346,7 +358,7 @@ func (e *Engine) Run(job cluster.Job, cfg cluster.Config) (cluster.Result, error
 // the service layer (internal/serve) dispatches through, so every queued
 // request it drops on cancellation carries its own deadline.
 func (e *Engine) RunRequest(ctx context.Context, req Request) Response {
-	return e.runOne(ctx, 0, req, time.Now(), nil)
+	return e.runOne(ctx, 0, req, e.now(), nil)
 }
 
 // RunBatch executes a batch across the worker pool and returns one
@@ -365,7 +377,7 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]Response, erro
 	if len(reqs) == 0 {
 		return out, nil
 	}
-	enqueued := time.Now()
+	enqueued := e.now()
 	// Derive every key up front with a shared task-digest memo: requests
 	// that carry the same job value (by slice identity) hash its task
 	// section once for the whole batch.

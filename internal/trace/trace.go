@@ -94,7 +94,7 @@ func (r *Record) Has(e Event) bool {
 // the runtime can be run untraced with zero overhead checks.
 type Tracer struct {
 	mu   sync.Mutex
-	recs []Record
+	recs []Record // guarded by mu
 }
 
 // New returns an empty Tracer.
